@@ -1,0 +1,101 @@
+"""Table 2 reproduction: the new deterministic algorithm vs. randomized baselines.
+
+Table 2 covers the small-Delta regime (omega(log* n) <= Delta <= log^{1-delta} n):
+previous work is either Panconesi-Rizzi (deterministic, (2 Delta - 1) colors,
+O(Delta) + log* n rounds) or Schneider-Wattenhofer [29] (randomized,
+(2 Delta - 1) colors, O(sqrt(log n)) rounds); the new deterministic algorithm
+achieves O(Delta^{1+eps}) colors in O(log Delta) + log* n rounds and therefore
+outperforms even the randomized algorithms in this range.
+
+The harness measures our implementation of the new algorithm and a Luby-style
+randomized baseline, and prints the analytic [29] curve alongside.
+"""
+
+from __future__ import annotations
+
+from common_bench import print_section, regular_workload, run_once
+
+from repro.analysis import (
+    Series,
+    format_table,
+    rounds_new_superlinear,
+    rounds_panconesi_rizzi,
+    rounds_schneider_wattenhofer,
+)
+from repro.baselines import luby_edge_coloring, panconesi_rizzi_edge_coloring
+from repro.core import color_edges
+from repro.verification import assert_legal_edge_coloring
+
+#: Small-Delta regime of Table 2.
+SMALL_DEGREES = (3, 4, 6, 8)
+
+
+def _sweep():
+    rows = []
+    new_rounds = Series("new deterministic")
+    luby_rounds = Series("randomized baseline")
+    for degree in SMALL_DEGREES:
+        network = regular_workload(degree, seed=100)
+        n = network.num_nodes
+
+        fast = color_edges(network, quality="superlinear", route="direct")
+        baseline = panconesi_rizzi_edge_coloring(network)
+        randomized = luby_edge_coloring(network, seed=degree)
+        for result in (fast, baseline, randomized):
+            assert_legal_edge_coloring(network, result.edge_colors)
+
+        new_rounds.add(degree, fast.metrics.rounds)
+        luby_rounds.add(degree, randomized.metrics.rounds)
+        rows.append(
+            [
+                degree,
+                baseline.colors_used,
+                baseline.metrics.rounds,
+                randomized.colors_used,
+                randomized.metrics.rounds,
+                round(rounds_schneider_wattenhofer(degree, n), 1),
+                fast.colors_used,
+                fast.metrics.rounds,
+                round(rounds_new_superlinear(degree, n), 1),
+                round(rounds_panconesi_rizzi(degree, n), 1),
+            ]
+        )
+    return rows, new_rounds, luby_rounds
+
+
+def test_table2_randomized_comparison(benchmark):
+    rows, new_rounds, luby_rounds = _sweep()
+
+    print_section("Table 2 -- small-Delta regime: randomized baselines vs. the new deterministic algorithm")
+    print(
+        format_table(
+            [
+                "Delta",
+                "PR colors",
+                "PR rounds",
+                "rand colors",
+                "rand rounds",
+                "[29] analytic",
+                "new colors",
+                "new rounds",
+                "new analytic",
+                "[24] analytic",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nNote: the randomized baseline uses fewer colors (2 Delta - 1) but relies on"
+        " randomness; the new algorithm is deterministic and its round count grows only"
+        " logarithmically with Delta, which is the Table 2 comparison point."
+    )
+
+    # Determinism is the point of the comparison: two runs of the new
+    # algorithm produce identical colorings, which no randomized baseline
+    # guarantees.
+    network = regular_workload(SMALL_DEGREES[-1], seed=100)
+    first = color_edges(network, quality="superlinear", route="direct")
+    second = color_edges(network, quality="superlinear", route="direct")
+    assert first.edge_colors == second.edge_colors
+
+    run_once(benchmark, lambda: color_edges(network, quality="superlinear", route="direct"))

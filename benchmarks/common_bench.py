@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each ``bench_*.py`` file regenerates one evaluation artifact of the paper
+(a table, a figure, or a theorem's quantitative claim): it sweeps the relevant
+parameter, prints the reproduced rows with :func:`repro.analysis.format_table`,
+and wraps one representative instance in ``pytest-benchmark`` so that
+``pytest benchmarks/ --benchmark-only`` both times the implementation and
+leaves the reproduced artifact in the captured output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro import graphs
+from repro.local_model import Network
+
+#: The Delta sweep used by the Table 1 / Table 2 reproductions.  The paper's
+#: ranges are expressed relative to n (log* n, log n, polylog n); at the
+#: laptop scales below they translate into small-to-moderate degrees.
+TABLE_DEGREES: Sequence[int] = (4, 6, 8, 12, 16, 22)
+
+#: Number of vertices of the Table 1 / Table 2 workload graphs.
+TABLE_NUM_NODES: int = 48
+
+
+def regular_workload(degree: int, n: int = TABLE_NUM_NODES, seed: int = 0) -> Network:
+    """The Table 1 / Table 2 workload: a random ``degree``-regular graph."""
+    if (n * degree) % 2 != 0:
+        n += 1
+    return graphs.random_regular(n, degree, seed=seed + degree)
+
+
+def run_once(benchmark, func: Callable[[], object]):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_section(title: str) -> None:
+    """Print a visually separated section header into the captured output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scaling study: rounds versus maximum degree (a miniature Table 1).
+
+Sweeps the maximum degree Delta on random regular graphs and prints, for each
+Delta, the measured rounds and colors of
+
+* the paper's O(Delta^{1+eta})-edge-coloring (Theorem 5.5(2)),
+* the paper's O(Delta)-edge-coloring (Theorem 5.5(1)),
+* the Panconesi-Rizzi-style (2 Delta - 1) baseline,
+
+plus the paper's analytic curves -- the reproducible essence of Table 1.
+A larger sweep (and the crossover analysis) is produced by
+``pytest benchmarks/bench_table1_deterministic_comparison.py --benchmark-only -s``.
+
+Run with:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro import color_edges, graphs
+from repro.analysis import format_table, rounds_new_superlinear, rounds_panconesi_rizzi
+from repro.baselines import panconesi_rizzi_edge_coloring
+from repro.verification import assert_legal_edge_coloring
+
+
+def main() -> None:
+    n = 48
+    rows = []
+    for degree in (4, 8, 12, 16):
+        network = graphs.random_regular(n, degree, seed=degree)
+        fast = color_edges(network, quality="superlinear", route="direct")
+        linear = color_edges(network, quality="linear", route="direct")
+        baseline = panconesi_rizzi_edge_coloring(network)
+        for result in (fast, linear, baseline):
+            assert_legal_edge_coloring(network, result.edge_colors)
+        rows.append(
+            [
+                degree,
+                fast.metrics.rounds,
+                fast.colors_used,
+                linear.metrics.rounds,
+                linear.colors_used,
+                baseline.metrics.rounds,
+                baseline.colors_used,
+                round(rounds_new_superlinear(degree, n), 1),
+                round(rounds_panconesi_rizzi(degree, n), 1),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Delta",
+                "new-fast rounds",
+                "colors",
+                "new-linear rounds",
+                "colors",
+                "baseline rounds",
+                "colors",
+                "new analytic",
+                "PR analytic",
+            ],
+            rows,
+            title=f"Rounds vs. Delta on random regular graphs (n = {n})",
+        )
+    )
+    print(
+        "\nAs Delta grows the baseline's rounds grow roughly linearly with Delta,"
+        " while the new algorithm's grow noticeably more slowly (its cost is"
+        " dominated by the constant-size bottom level of the recursion) -- the"
+        " qualitative shape of the paper's Table 1; the asymptotic gap widens"
+        " further with Delta."
+    )
+
+
+if __name__ == "__main__":
+    main()

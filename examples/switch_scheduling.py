@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Switch scheduling / packet routing via distributed edge coloring.
+
+The paper's introduction motivates edge coloring with job-shop scheduling,
+packet routing and resource allocation: in an input-queued switch (or any
+crossbar-like interconnect), the demand between input and output ports forms a
+bipartite multigraph, and a legal edge coloring is exactly a schedule -- each
+color class is a matching that can be transferred in one time slot, so the
+number of colors is the schedule length.
+
+This example builds a random bipartite Delta-regular demand graph, computes a
+schedule with (a) the paper's distributed algorithm and (b) the sequential
+greedy oracle, validates both schedules, and reports schedule length versus
+the optimum (which equals Delta for bipartite graphs, by Konig's theorem).
+
+Run with:  python examples/switch_scheduling.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import color_edges, graphs
+from repro.baselines import greedy_sequential_edge_coloring
+from repro.verification import assert_legal_edge_coloring
+
+
+def schedule_from_coloring(edge_colors) -> dict:
+    """Group edges by color: each color class is one time slot (a matching)."""
+    slots = defaultdict(list)
+    for edge, color in edge_colors.items():
+        slots[color].append(edge)
+    return dict(sorted(slots.items()))
+
+
+def verify_schedule_is_matchings(slots: dict) -> None:
+    """Every slot must be a matching: no port appears twice within a slot."""
+    for slot, edges in slots.items():
+        ports = [endpoint for edge in edges for endpoint in edge]
+        if len(ports) != len(set(ports)):
+            raise AssertionError(f"slot {slot} is not a matching")
+
+
+def main() -> None:
+    ports = 16
+    demand_degree = 8
+    network = graphs.random_bipartite_regular(ports, demand_degree, seed=3)
+    print(
+        f"switch demand graph: {ports} input ports x {ports} output ports, "
+        f"{network.num_edges} demands, Delta = {network.max_degree}"
+    )
+    print(f"optimal schedule length (Konig): {network.max_degree} slots\n")
+
+    # Distributed schedule: O(Delta) colors in few rounds, computed by the
+    # ports themselves with O(log n)-bit messages.
+    distributed = color_edges(network, quality="linear", route="direct")
+    assert_legal_edge_coloring(network, distributed.edge_colors)
+    slots = schedule_from_coloring(distributed.edge_colors)
+    verify_schedule_is_matchings(slots)
+    print("distributed schedule (paper, Theorem 5.5(1)):")
+    print(f"  slots (colors)      : {distributed.colors_used}")
+    print(f"  rounds to compute   : {distributed.metrics.rounds}")
+    print(f"  largest slot size   : {max(len(edges) for edges in slots.values())} transfers")
+
+    # Centralized greedy oracle for comparison.
+    greedy = greedy_sequential_edge_coloring(network)
+    assert_legal_edge_coloring(network, greedy)
+    greedy_slots = schedule_from_coloring(greedy)
+    verify_schedule_is_matchings(greedy_slots)
+    print("\ncentralized greedy oracle:")
+    print(f"  slots (colors)      : {len(greedy_slots)}")
+
+    overhead = distributed.colors_used / network.max_degree
+    print(
+        f"\nThe distributed schedule uses {overhead:.1f}x the optimal number of slots, "
+        "but is computed by the switch ports themselves in a handful of communication "
+        "rounds, with no central arbiter."
+    )
+
+    print("\nfirst three slots of the distributed schedule:")
+    for slot, edges in list(slots.items())[:3]:
+        rendered = ", ".join(f"{u[1]}->{v[1]}" for u, v in (sorted(edge, key=str) for edge in edges))
+        print(f"  slot {slot:3d}: {rendered}")
+
+
+if __name__ == "__main__":
+    main()

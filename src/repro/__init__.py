@@ -1,0 +1,72 @@
+"""Reproduction of *Distributed Deterministic Edge Coloring using Bounded
+Neighborhood Independence* (Barenboim & Elkin, PODC 2011).
+
+The package is organized around a synchronous message-passing simulator
+(:mod:`repro.local_model`), graph workloads (:mod:`repro.graphs`), the
+classical primitives the paper builds on (:mod:`repro.primitives`), the
+paper's algorithms (:mod:`repro.core`), the baselines it compares against
+(:mod:`repro.baselines`), and verification / analysis utilities
+(:mod:`repro.verification`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import color_edges, graphs, verification
+
+    network = graphs.random_regular(n=64, degree=8, seed=1)
+    result = color_edges(network, quality="superlinear")
+    verification.assert_legal_edge_coloring(network, result.edge_colors)
+    print(result.colors_used, "colors in", result.metrics.rounds, "rounds")
+"""
+
+from repro import analysis, baselines, core, graphs, local_model, primitives, verification
+from repro.core import (
+    EdgeColoringResult,
+    LegalColoringResult,
+    color_edges,
+    color_vertices,
+    randomized_color_vertices,
+    run_defective_color,
+    run_legal_coloring,
+    tradeoff_color_vertices,
+)
+from repro.exceptions import (
+    ColoringError,
+    GraphPropertyError,
+    HypergraphError,
+    InvalidParameterError,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from repro.local_model import Network, RunMetrics, Scheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColoringError",
+    "EdgeColoringResult",
+    "GraphPropertyError",
+    "HypergraphError",
+    "InvalidParameterError",
+    "LegalColoringResult",
+    "Network",
+    "ReproError",
+    "RoundLimitExceeded",
+    "RunMetrics",
+    "Scheduler",
+    "SimulationError",
+    "__version__",
+    "analysis",
+    "baselines",
+    "color_edges",
+    "color_vertices",
+    "core",
+    "graphs",
+    "local_model",
+    "primitives",
+    "randomized_color_vertices",
+    "run_defective_color",
+    "run_legal_coloring",
+    "tradeoff_color_vertices",
+    "verification",
+]

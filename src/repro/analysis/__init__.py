@@ -1,0 +1,33 @@
+"""Analytic complexity curves and report formatting for the benchmark harnesses."""
+
+from repro.analysis.complexity import (
+    colors_new_linear,
+    colors_new_superlinear,
+    colors_panconesi_rizzi,
+    log_star,
+    rounds_be10_linear,
+    rounds_be10_superlinear,
+    rounds_kothapalli,
+    rounds_new_linear,
+    rounds_new_superlinear,
+    rounds_panconesi_rizzi,
+    rounds_schneider_wattenhofer,
+)
+from repro.analysis.reporting import Series, crossover_point, format_table
+
+__all__ = [
+    "Series",
+    "colors_new_linear",
+    "colors_new_superlinear",
+    "colors_panconesi_rizzi",
+    "crossover_point",
+    "format_table",
+    "log_star",
+    "rounds_be10_linear",
+    "rounds_be10_superlinear",
+    "rounds_kothapalli",
+    "rounds_new_linear",
+    "rounds_new_superlinear",
+    "rounds_panconesi_rizzi",
+    "rounds_schneider_wattenhofer",
+]

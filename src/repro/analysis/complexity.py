@@ -1,0 +1,90 @@
+"""Analytic round/color curves for every row of Tables 1 and 2.
+
+The paper's evaluation artifacts (Tables 1 and 2) compare asymptotic running
+times; this module turns each row into a concrete curve (with unit constants)
+so the benchmark harnesses can plot measured rounds against the idealized
+shapes and report who wins, by what factor, and where the crossovers fall.
+
+References, using the paper's citation numbers:
+
+* [24] Panconesi-Rizzi: ``(2 Delta - 1)`` colors, ``O(Delta) + log* n`` time.
+* [5]  Barenboim-Elkin (PODC'10): ``O(Delta)`` colors in
+  ``O(Delta^eps log n)`` time, ``O(Delta^{1+eps})`` colors in
+  ``O(log Delta log n)`` time.
+* [29] Schneider-Wattenhofer: randomized ``(2 Delta - 1)`` colors in
+  ``O(sqrt(log n))`` time.
+* [18] Kothapalli et al.: randomized ``O(Delta)`` colors in
+  ``O(sqrt(log n))`` bit rounds.
+* **New** (this paper): ``O(Delta)`` colors in ``O(Delta^eps) + log* n`` time
+  and ``O(Delta^{1+eps})`` colors in ``O(log Delta) + log* n`` time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.primitives.numbers import log_star
+
+__all__ = [
+    "log_star",
+    "rounds_panconesi_rizzi",
+    "rounds_be10_linear",
+    "rounds_be10_superlinear",
+    "rounds_new_linear",
+    "rounds_new_superlinear",
+    "rounds_schneider_wattenhofer",
+    "rounds_kothapalli",
+    "colors_panconesi_rizzi",
+    "colors_new_linear",
+    "colors_new_superlinear",
+]
+
+
+def rounds_panconesi_rizzi(delta: int, n: int) -> float:
+    """[24]: ``Delta + log* n`` (deterministic, ``2 Delta - 1`` colors)."""
+    return float(delta + log_star(n))
+
+
+def rounds_be10_linear(delta: int, n: int, epsilon: float = 0.75) -> float:
+    """[5]: ``Delta^eps * log n`` (deterministic, ``O(Delta)`` colors)."""
+    return float(max(1, delta) ** epsilon * math.log2(max(2, n)))
+
+
+def rounds_be10_superlinear(delta: int, n: int) -> float:
+    """[5]: ``log Delta * log n`` (deterministic, ``O(Delta^{1+eps})`` colors)."""
+    return float(math.log2(max(2, delta)) * math.log2(max(2, n)))
+
+
+def rounds_new_linear(delta: int, n: int, epsilon: float = 0.75) -> float:
+    """This paper: ``Delta^eps + log* n`` (deterministic, ``O(Delta)`` colors)."""
+    return float(max(1, delta) ** epsilon + log_star(n))
+
+
+def rounds_new_superlinear(delta: int, n: int) -> float:
+    """This paper: ``log Delta + log* n`` (deterministic, ``O(Delta^{1+eps})`` colors)."""
+    return float(math.log2(max(2, delta)) + log_star(n))
+
+
+def rounds_schneider_wattenhofer(delta: int, n: int) -> float:
+    """[29]: ``sqrt(log n)`` (randomized, ``2 Delta - 1`` colors)."""
+    return float(math.sqrt(math.log2(max(2, n))))
+
+
+def rounds_kothapalli(delta: int, n: int) -> float:
+    """[18]: ``sqrt(log n)`` bit rounds (randomized, ``O(Delta)`` colors)."""
+    return float(math.sqrt(math.log2(max(2, n))))
+
+
+def colors_panconesi_rizzi(delta: int) -> int:
+    """[24]: exactly ``2 Delta - 1`` colors."""
+    return max(1, 2 * delta - 1)
+
+
+def colors_new_linear(delta: int, constant: float = 4.0) -> float:
+    """This paper, linear variant: ``O(Delta)`` colors (unit-constant curve)."""
+    return constant * max(1, delta)
+
+
+def colors_new_superlinear(delta: int, eta: float = 0.5) -> float:
+    """This paper, fast variant: ``O(Delta^{1+eta})`` colors (unit-constant curve)."""
+    return float(max(1, delta) ** (1.0 + eta))

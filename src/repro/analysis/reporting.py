@@ -1,0 +1,83 @@
+"""Plain-text tables and series helpers used by the benchmark harnesses.
+
+The benchmark suite regenerates the paper's comparison tables as aligned
+plain-text tables printed to stdout (so ``pytest benchmarks/`` leaves the
+reproduced artifacts in the captured output and in ``bench_output.txt``), and
+uses :func:`crossover_point` to report where one algorithm starts beating
+another along a parameter sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values; every cell is rendered with ``str`` (floats are rounded to
+        two decimals).
+    title:
+        Optional title printed above the table.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+@dataclass
+class Series:
+    """A named measurement series over a swept parameter (e.g. rounds vs Delta)."""
+
+    name: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one measurement."""
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def as_rows(self) -> List[Tuple[float, float]]:
+        """The series as (x, y) rows."""
+        return list(zip(self.xs, self.ys))
+
+
+def crossover_point(first: Series, second: Series) -> Optional[float]:
+    """The smallest shared x at which ``first`` becomes no larger than ``second``.
+
+    Returns ``None`` when the two series never cross on their common support.
+    Used to report where the new algorithm overtakes a baseline along the
+    ``Delta`` sweep.
+    """
+    second_lookup = dict(zip(second.xs, second.ys))
+    shared = [x for x in first.xs if x in second_lookup]
+    for x in sorted(shared):
+        first_y = first.ys[first.xs.index(x)]
+        if first_y <= second_lookup[x]:
+            return x
+    return None

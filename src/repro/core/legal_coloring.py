@@ -1,0 +1,343 @@
+"""Procedure Legal-Color (Algorithm 2) and the Theorem 4.5 / 4.6 / 4.8 results.
+
+Procedure Legal-Color turns the defective coloring of Algorithm 1 into a
+*legal* coloring by recursion: an ``O(Lambda/p)``-defective ``p``-coloring
+``psi`` splits the graph into ``p`` vertex-disjoint subgraphs
+``G_1, ..., G_p`` of maximum degree ``Lambda' = O(Lambda/p)``; the procedure
+recurses on all of them in parallel, and once the degree bound drops to the
+threshold ``lambda`` it colors the remaining subgraphs directly with a
+``(Lambda + 1)``-coloring.  The per-level colorings are merged by giving the
+subgraphs of one level pairwise-disjoint palettes of equal size
+(``theta^{(j)} = p * theta^{(j+1)}``, Figure 3), so the final palette has
+``theta^{(0)} = p^r * (hat-Lambda + 1)`` colors -- which is ``O(Delta)`` for
+the Theorem 4.5 parameters and ``O(Delta^{1+eta})`` for the Theorem 4.6
+parameters.
+
+Execution model.  The recursion is *iterative* here: all subgraphs of one
+level share the same parameters, so one pass of Procedure Defective-Color on
+the union of the subgraphs (with edges between different subgraphs removed)
+is exactly the "invoke recursively on each subgraph in parallel" step of the
+paper, and the measured rounds of that pass equal the parallel time of the
+level.  Every vertex carries its recursion *path* (the sequence of
+``psi``-colors it received so far); two vertices are in the same current
+subgraph exactly when their paths are equal.
+
+The Section 4.2 improvement is applied by default: an auxiliary
+``O(Delta^2)``-coloring ``rho`` is computed once (``log* n`` rounds) and fed
+to every level's defective-coloring step, so the per-level cost depends only
+on ``Delta``, not on ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.local_model.metrics import RunMetrics
+from repro.local_model.network import Network
+from repro.local_model.scheduler import Scheduler
+from repro.core.defective_coloring import defective_color_pipeline
+from repro.core.parameters import (
+    LegalColorParameters,
+    params_for_few_rounds,
+    params_for_linear_colors,
+    params_for_subpolynomial_rounds,
+)
+from repro.primitives.color_reduction import delta_plus_one_pipeline
+from repro.primitives.linial import LinialColoringPhase
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """One recursion level of Procedure Legal-Color (one row of Figure 3).
+
+    Attributes
+    ----------
+    level:
+        Recursion depth (0 = the invocation on the whole input graph).
+    degree_bound:
+        The parameter ``Lambda`` of this level.
+    phi_palette:
+        Number of colors of the level's auxiliary defective coloring ``phi``
+        (bounds the level's round count).
+    next_degree_bound:
+        The bound ``Lambda'`` passed to the next level (Theorem 3.7).
+    num_subgraphs:
+        How many non-empty subgraphs exist at this level.
+    max_subgraph_degree:
+        The *measured* maximum degree over the level's subgraphs (must not
+        exceed ``degree_bound``; verified by the tests).
+    rounds:
+        Communication rounds spent on this level.
+    """
+
+    level: int
+    degree_bound: int
+    phi_palette: int
+    next_degree_bound: int
+    num_subgraphs: int
+    max_subgraph_degree: int
+    rounds: int
+
+
+@dataclass
+class LegalColoringResult:
+    """The outcome of Procedure Legal-Color.
+
+    Attributes
+    ----------
+    colors:
+        The legal coloring, one color in ``{1, ..., palette}`` per node.
+    palette:
+        The palette bound ``theta^{(0)}`` guaranteed by the run (the number of
+        *distinct* colors actually used may be smaller).
+    metrics:
+        Rounds / messages / bandwidth of the whole computation.
+    levels:
+        Per-level trace (the Figure 3 recursion tree, collapsed per level).
+    parameters:
+        The parameter preset that was used.
+    bottom_degree_bound:
+        The degree bound ``hat-Lambda`` at which the recursion bottomed out.
+    """
+
+    colors: Dict[Hashable, int]
+    palette: int
+    metrics: RunMetrics
+    levels: List[LevelTrace] = field(default_factory=list)
+    parameters: Optional[LegalColorParameters] = None
+    bottom_degree_bound: int = 0
+
+    @property
+    def num_levels(self) -> int:
+        """Number of recursion levels executed before the bottom coloring."""
+        return len(self.levels)
+
+    @property
+    def colors_used(self) -> int:
+        """Number of distinct colors actually present in the coloring."""
+        return len(set(self.colors.values()))
+
+
+def run_legal_coloring(
+    network: Network,
+    params: LegalColorParameters,
+    c: int,
+    degree_bound: Optional[int] = None,
+    edge_mode: bool = False,
+    use_auxiliary_coloring: bool = True,
+) -> LegalColoringResult:
+    """Run Procedure Legal-Color on ``network``.
+
+    Parameters
+    ----------
+    network:
+        The graph to color.  In ``edge_mode`` this must be a line-graph
+        network (node identifiers are edge 2-tuples), as produced by
+        :func:`repro.graphs.line_graph.build_line_graph_network`.
+    params:
+        The ``(b, p, lambda)`` preset (see :mod:`repro.core.parameters`).
+    c:
+        The bound on the neighborhood independence of ``network``
+        (``c = 2`` for line graphs of graphs, ``c = r`` for line graphs of
+        ``r``-hypergraphs).
+    degree_bound:
+        The initial ``Lambda`` (defaults to the network's maximum degree).
+    edge_mode:
+        Use Corollary 5.4 instead of Lemma 2.1(3) for the per-level defective
+        coloring ``phi`` -- this is the Theorem 5.5 variant whose messages
+        stay small.
+    use_auxiliary_coloring:
+        Apply the Section 4.2 improvement (compute the auxiliary
+        ``O(Delta^2)``-coloring ``rho`` once and reuse it at every level).
+
+    Returns
+    -------
+    LegalColoringResult
+        The legal coloring together with its palette bound, metrics and the
+        per-level recursion trace.
+    """
+    if c < 1:
+        raise InvalidParameterError("c must be at least 1")
+    if network.num_nodes == 0:
+        return LegalColoringResult(
+            colors={}, palette=1, metrics=RunMetrics(), parameters=params
+        )
+    delta = network.max_degree
+    if degree_bound is None:
+        degree_bound = max(1, delta)
+    if degree_bound < delta:
+        raise InvalidParameterError(
+            f"degree_bound {degree_bound} is below the actual maximum degree {delta}"
+        )
+    params.validate(degree_bound, c)
+
+    metrics = RunMetrics()
+    states: Dict[Hashable, Dict[str, Any]] = {
+        node: {"_path": ()} for node in network.nodes()
+    }
+
+    # ------------------------------------------------------------------ #
+    # Section 4.2: auxiliary O(Delta^2)-coloring rho, computed once.
+    # ------------------------------------------------------------------ #
+    auxiliary_key: Optional[str] = None
+    auxiliary_palette: Optional[int] = None
+    if use_auxiliary_coloring and network.num_nodes > 0:
+        aux_phase = LinialColoringPhase(
+            degree_bound=max(1, delta),
+            initial_palette=network.num_nodes,
+            output_key="_aux_rho",
+        )
+        aux_result = Scheduler(network).run(aux_phase, initial_states=states)
+        states = aux_result.states
+        metrics.merge(aux_result.metrics)
+        auxiliary_key = "_aux_rho"
+        auxiliary_palette = aux_phase.final_palette
+
+    # ------------------------------------------------------------------ #
+    # Recursion levels (executed iteratively; all subgraphs of a level run in
+    # parallel on the path-filtered network).
+    # ------------------------------------------------------------------ #
+    levels: List[LevelTrace] = []
+    current_bound = degree_bound
+    level = 0
+    while current_bound > params.threshold:
+        if params.b * params.p > current_bound or params.p < 2:
+            break  # Parameters no longer valid at this degree scale; bottom out.
+
+        filtered = network.filtered_by_edge(
+            lambda u, v: states[u]["_path"] == states[v]["_path"]
+        )
+        psi_key = f"_psi_{level}"
+        pipeline, info = defective_color_pipeline(
+            n=network.num_nodes,
+            b=params.b,
+            p=params.p,
+            Lambda=current_bound,
+            c=c,
+            mode="edge" if edge_mode else "vertex",
+            auxiliary_key=auxiliary_key,
+            auxiliary_palette=auxiliary_palette,
+            class_key="_path",
+            output_key=psi_key,
+        )
+        result = Scheduler(filtered).run(pipeline, initial_states=states)
+        states = result.states
+        metrics.merge(result.metrics)
+
+        for node in network.nodes():
+            states[node]["_path"] = states[node]["_path"] + (states[node][psi_key],)
+
+        next_bound = info.psi_defect_bound
+        levels.append(
+            LevelTrace(
+                level=level,
+                degree_bound=current_bound,
+                phi_palette=info.phi_palette,
+                next_degree_bound=next_bound,
+                num_subgraphs=len({states[node]["_path"] for node in network.nodes()}),
+                max_subgraph_degree=filtered.max_degree,
+                rounds=result.metrics.rounds,
+            )
+        )
+
+        if next_bound >= current_bound:
+            current_bound = next_bound
+            break  # No progress with these parameters; bottom out to stay safe.
+        current_bound = next_bound
+        level += 1
+
+    # ------------------------------------------------------------------ #
+    # Bottom level: a legal (Lambda + 1)-coloring of every remaining subgraph.
+    # ------------------------------------------------------------------ #
+    bottom_filtered = network.filtered_by_edge(
+        lambda u, v: states[u]["_path"] == states[v]["_path"]
+    )
+    bottom_bound = max(current_bound, bottom_filtered.max_degree)
+    bottom_target = bottom_bound + 1
+    bottom_pipeline, _ = delta_plus_one_pipeline(
+        n=network.num_nodes,
+        degree_bound=bottom_bound,
+        initial_palette=auxiliary_palette,
+        input_key=auxiliary_key,
+        output_key="_bottom_color",
+        target=bottom_target,
+    )
+    if network.num_nodes > 0:
+        bottom_result = Scheduler(bottom_filtered).run(
+            bottom_pipeline, initial_states=states
+        )
+        states = bottom_result.states
+        metrics.merge(bottom_result.metrics)
+
+    # ------------------------------------------------------------------ #
+    # Merge the per-level colorings into disjoint palettes (Figure 3).
+    # ------------------------------------------------------------------ #
+    num_levels = len(levels)
+    theta = [0] * (num_levels + 1)
+    theta[num_levels] = bottom_target
+    for j in range(num_levels - 1, -1, -1):
+        theta[j] = params.p * theta[j + 1]
+    palette = theta[0] if num_levels > 0 else bottom_target
+
+    colors: Dict[Hashable, int] = {}
+    for node in network.nodes():
+        color = states[node]["_bottom_color"]
+        for j in range(num_levels):
+            color += (states[node][f"_psi_{j}"] - 1) * theta[j + 1]
+        colors[node] = color
+
+    return LegalColoringResult(
+        colors=colors,
+        palette=palette,
+        metrics=metrics,
+        levels=levels,
+        parameters=params,
+        bottom_degree_bound=bottom_bound,
+    )
+
+
+def color_vertices(
+    network: Network,
+    c: int,
+    quality: str = "linear",
+    epsilon: float = 0.75,
+    edge_mode: bool = False,
+    use_auxiliary_coloring: bool = True,
+) -> LegalColoringResult:
+    """High-level entry point for Theorem 4.8.
+
+    Parameters
+    ----------
+    network:
+        A graph with neighborhood independence at most ``c``.
+    c:
+        The independence bound (e.g. ``2`` for line graphs / claw-free graphs).
+    quality:
+        ``"linear"`` -- ``O(Delta)`` colors in ``O(Delta^eps) + log* n`` time
+        (Theorem 4.8(1));
+        ``"superlinear"`` -- ``O(Delta^{1+eta})`` colors in roughly
+        ``O(log Delta) + log* n`` time (Theorem 4.8(2));
+        ``"subpolynomial"`` -- ``Delta^{1+o(1)}`` colors in
+        ``O((log Delta)^{1+eta}) + log* n`` time (Theorem 4.8(3)).
+    epsilon:
+        The exponent knob for the ``"linear"`` and ``"subpolynomial"``
+        presets.
+    """
+    delta = max(1, network.max_degree)
+    if quality == "linear":
+        params = params_for_linear_colors(delta, c, epsilon=epsilon)
+    elif quality == "superlinear":
+        params = params_for_few_rounds(delta, c)
+    elif quality == "subpolynomial":
+        params = params_for_subpolynomial_rounds(delta, c, eta=epsilon)
+    else:
+        raise InvalidParameterError(f"unknown quality {quality!r}")
+    return run_legal_coloring(
+        network,
+        params,
+        c=c,
+        edge_mode=edge_mode,
+        use_auxiliary_coloring=use_auxiliary_coloring,
+    )

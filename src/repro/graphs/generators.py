@@ -1,0 +1,171 @@
+"""Workload graph generators.
+
+These are the graph families the paper motivates or analyses:
+
+* the Figure 1 construction (a clique with pendant vertices) showing that
+  bounded neighborhood independence does **not** imply bounded growth,
+* line graphs and line graphs of ``r``-hypergraphs (see
+  :mod:`repro.graphs.hypergraphs`), the families the edge-coloring results
+  reduce to,
+* bounded-growth graphs (grids, hypercubes of fixed dimension growth),
+* generic benchmark graphs (random regular, Erdos-Renyi, power-law) used by
+  the Table 1 / Table 2 sweeps to realize a prescribed maximum degree.
+
+All generators are deterministic given their ``seed`` argument, so benchmark
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from repro.exceptions import InvalidParameterError
+from repro.local_model.network import Network
+
+
+def _from_networkx_int_labels(graph: "nx.Graph") -> Network:
+    """Relabel nodes to consecutive integers and wrap into a Network."""
+    relabeled = nx.convert_node_labels_to_integers(graph, first_label=0, ordering="sorted")
+    return Network.from_networkx(relabeled)
+
+
+def clique_with_pendants(clique_size: int) -> Network:
+    """The Figure 1 graph: a clique whose every vertex has one pendant neighbor.
+
+    The graph has ``n = 2 * clique_size`` vertices.  Its neighborhood
+    independence is 2 (a clique vertex's neighbors are the rest of the clique,
+    pairwise adjacent, plus one pendant), yet every clique vertex has
+    ``clique_size - 1 = Omega(Delta)`` independent vertices at distance 2 (the
+    other pendants), so the graph is *not* of bounded growth.
+
+    Parameters
+    ----------
+    clique_size:
+        Number of clique vertices (at least 1).
+    """
+    if clique_size < 1:
+        raise InvalidParameterError("clique_size must be at least 1")
+    adjacency = {}
+    clique = [("clique", i) for i in range(clique_size)]
+    for i, node in enumerate(clique):
+        neighbors = [clique[j] for j in range(clique_size) if j != i]
+        neighbors.append(("pendant", i))
+        adjacency[node] = neighbors
+        adjacency[("pendant", i)] = [node]
+    return Network(adjacency)
+
+
+def complete_graph(n: int) -> Network:
+    """The complete graph ``K_n`` (every pair of vertices adjacent)."""
+    if n < 1:
+        raise InvalidParameterError("n must be at least 1")
+    return Network({i: [j for j in range(n) if j != i] for i in range(n)})
+
+
+def path_graph(n: int) -> Network:
+    """The path on ``n`` vertices."""
+    if n < 1:
+        raise InvalidParameterError("n must be at least 1")
+    return Network({i: [j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)})
+
+
+def cycle_graph(n: int) -> Network:
+    """The cycle on ``n`` vertices (``n >= 3``)."""
+    if n < 3:
+        raise InvalidParameterError("a cycle needs at least 3 vertices")
+    return Network({i: [(i - 1) % n, (i + 1) % n] for i in range(n)})
+
+
+def star_graph(leaves: int) -> Network:
+    """The star ``K_{1,leaves}``: one center adjacent to ``leaves`` leaves.
+
+    For ``leaves >= 3`` this is the smallest graph that is *not* claw-free and
+    has neighborhood independence equal to ``leaves``.
+    """
+    if leaves < 1:
+        raise InvalidParameterError("a star needs at least one leaf")
+    adjacency = {"center": [("leaf", i) for i in range(leaves)]}
+    for i in range(leaves):
+        adjacency[("leaf", i)] = ["center"]
+    return Network(adjacency)
+
+
+def grid_graph(rows: int, cols: int) -> Network:
+    """The ``rows x cols`` grid -- a canonical bounded-growth graph."""
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError("grid dimensions must be positive")
+    return _from_networkx_int_labels(nx.grid_2d_graph(rows, cols))
+
+
+def hypercube_graph(dimension: int) -> Network:
+    """The ``dimension``-dimensional hypercube (``2^dimension`` vertices)."""
+    if dimension < 1:
+        raise InvalidParameterError("dimension must be at least 1")
+    return _from_networkx_int_labels(nx.hypercube_graph(dimension))
+
+
+def random_regular(n: int, degree: int, seed: int = 0) -> Network:
+    """A random ``degree``-regular graph on ``n`` vertices.
+
+    Used by the Table 1 / Table 2 sweeps to realize a prescribed maximum
+    degree exactly.  ``n * degree`` must be even and ``degree < n``.
+    """
+    if degree < 0 or degree >= n:
+        raise InvalidParameterError("need 0 <= degree < n for a regular graph")
+    if (n * degree) % 2 != 0:
+        raise InvalidParameterError("n * degree must be even")
+    if degree == 0:
+        return Network({i: [] for i in range(n)})
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    return _from_networkx_int_labels(graph)
+
+
+def erdos_renyi(n: int, edge_probability: float, seed: int = 0) -> Network:
+    """An Erdos-Renyi random graph ``G(n, p)``."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise InvalidParameterError("edge_probability must lie in [0, 1]")
+    graph = nx.gnp_random_graph(n, edge_probability, seed=seed)
+    return _from_networkx_int_labels(graph)
+
+
+def power_law_graph(n: int, attachment_edges: int, seed: int = 0) -> Network:
+    """A Barabasi-Albert preferential-attachment graph (skewed degrees)."""
+    if attachment_edges < 1 or attachment_edges >= n:
+        raise InvalidParameterError("need 1 <= attachment_edges < n")
+    graph = nx.barabasi_albert_graph(n, attachment_edges, seed=seed)
+    return _from_networkx_int_labels(graph)
+
+
+def random_bipartite_regular(side: int, degree: int, seed: int = 0) -> Network:
+    """A random bipartite ``degree``-regular graph on ``2 * side`` vertices.
+
+    Bipartite regular graphs are the classical hard instances for edge
+    coloring (switch scheduling / packet routing workloads in the paper's
+    introduction): an optimal schedule needs exactly ``degree`` colors.
+    """
+    if degree < 0 or degree > side:
+        raise InvalidParameterError("need 0 <= degree <= side")
+    rng = random.Random(seed)
+    adjacency = {("left", i): [] for i in range(side)}
+    adjacency.update({("right", i): [] for i in range(side)})
+    # Union of `degree` random perfect matchings, resampled on collisions.
+    used = set()
+    for _ in range(degree):
+        attempts = 0
+        while True:
+            attempts += 1
+            permutation = list(range(side))
+            rng.shuffle(permutation)
+            candidate = {(i, permutation[i]) for i in range(side)}
+            if not (candidate & used) or attempts > 200:
+                break
+        for i, j in candidate:
+            if (i, j) in used:
+                continue
+            used.add((i, j))
+            adjacency[("left", i)].append(("right", j))
+            adjacency[("right", j)].append(("left", i))
+    return Network(adjacency)

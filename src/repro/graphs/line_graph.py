@@ -1,0 +1,79 @@
+"""Line-graph construction with explicit edge <-> vertex correspondence.
+
+The line graph ``L(G) = (V'', E'')`` of a graph ``G = (V, E)`` contains a
+vertex ``v_e`` for each edge ``e`` of ``G`` and an edge ``(v_e, v_{e'})``
+whenever ``e`` and ``e'`` share an endpoint.  The paper's edge-coloring
+results are obtained by vertex-coloring ``L(G)``; the key structural facts it
+relies on are
+
+* ``I(L(G)) <= 2`` (Lemma 5.1) and more generally ``I(L(H)) <= r`` for an
+  ``r``-hypergraph ``H``,
+* ``Delta(L(G)) <= 2 (Delta(G) - 1)``,
+* the identifier of ``v_e`` for ``e = (u, v)`` with ``Id(u) < Id(v)`` is the
+  ordered pair ``(Id(u), Id(v))`` (Lemma 5.2), which keeps identifiers unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.local_model.network import Network
+
+#: The identifier type of a line-graph vertex: the canonical edge of ``G``.
+EdgeId = Tuple[Hashable, Hashable]
+
+
+def canonical_edge(network: Network, u: Hashable, v: Hashable) -> EdgeId:
+    """Return the edge ``(u, v)`` ordered by the endpoints' unique identifiers."""
+    if network.unique_id(u) <= network.unique_id(v):
+        return (u, v)
+    return (v, u)
+
+
+def build_line_graph_network(network: Network) -> Tuple[Network, Dict[EdgeId, int]]:
+    """Construct ``L(G)`` as a :class:`~repro.local_model.network.Network`.
+
+    The returned network's node identifiers are the canonical edges of ``G``
+    (ordered by endpoint unique id).  Unique identifiers of the line-graph
+    vertices are assigned by sorting the pairs ``(Id(u), Id(v))``
+    lexicographically, which matches the pair-identifier scheme of Lemma 5.2
+    up to renumbering into ``{1, ..., |E|}``.
+
+    Returns
+    -------
+    (line_network, edge_ids):
+        ``line_network`` is ``L(G)``; ``edge_ids`` maps each canonical edge of
+        ``G`` to the unique id of its line-graph vertex.
+    """
+    edges = [canonical_edge(network, u, v) for u, v in network.edges()]
+    pair_key = {
+        edge: (network.unique_id(edge[0]), network.unique_id(edge[1])) for edge in edges
+    }
+    ordered = sorted(edges, key=lambda edge: pair_key[edge])
+    unique_ids = {edge: index + 1 for index, edge in enumerate(ordered)}
+
+    # Two edges of G are adjacent in L(G) iff they share an endpoint.  Build
+    # adjacency by grouping edges per endpoint.
+    incident: Dict[Hashable, list] = {node: [] for node in network.nodes()}
+    for edge in edges:
+        incident[edge[0]].append(edge)
+        incident[edge[1]].append(edge)
+
+    adjacency: Dict[EdgeId, set] = {edge: set() for edge in edges}
+    for node_edges in incident.values():
+        for i, e1 in enumerate(node_edges):
+            for e2 in node_edges[i + 1 :]:
+                adjacency[e1].add(e2)
+                adjacency[e2].add(e1)
+
+    line_network = Network(
+        {edge: sorted(neigh, key=lambda e: pair_key[e]) for edge, neigh in adjacency.items()},
+        unique_ids=unique_ids,
+    )
+    return line_network, unique_ids
+
+
+def line_graph_network(network: Network) -> Network:
+    """Convenience wrapper returning only the line-graph network."""
+    line_network, _ = build_line_graph_network(network)
+    return line_network

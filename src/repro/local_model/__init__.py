@@ -1,0 +1,41 @@
+"""Synchronous message-passing substrate (the LOCAL / CONGEST model).
+
+This package implements the execution model the paper assumes: an ``n``-vertex
+network in which every vertex hosts a processor with a unique identifier,
+communication proceeds in synchronous rounds, and in each round every vertex
+may send one message to each of its neighbors.  The running time of an
+algorithm is the number of rounds until every vertex has terminated.
+
+The main entry points are:
+
+* :class:`~repro.local_model.network.Network` -- the communication graph,
+* :class:`~repro.local_model.algorithm.SynchronousPhase` -- the per-node
+  protocol abstraction (one phase of an algorithm),
+* :class:`~repro.local_model.scheduler.Scheduler` -- executes phases round by
+  round and accumulates :class:`~repro.local_model.metrics.RunMetrics`,
+* :func:`~repro.local_model.line_graph_sim.simulate_on_line_graph` -- the
+  Lemma 5.2 simulation of an algorithm for ``L(G)`` on the network ``G``.
+"""
+
+from repro.local_model.algorithm import LocalView, PhasePipeline, SynchronousPhase
+from repro.local_model.messages import Message, payload_size_words
+from repro.local_model.metrics import RunMetrics
+from repro.local_model.network import Network
+from repro.local_model.node import Node
+from repro.local_model.scheduler import PhaseResult, Scheduler
+from repro.local_model.line_graph_sim import LineGraphSimulationResult, simulate_on_line_graph
+
+__all__ = [
+    "LineGraphSimulationResult",
+    "LocalView",
+    "Message",
+    "Network",
+    "Node",
+    "PhasePipeline",
+    "PhaseResult",
+    "RunMetrics",
+    "Scheduler",
+    "SynchronousPhase",
+    "payload_size_words",
+    "simulate_on_line_graph",
+]

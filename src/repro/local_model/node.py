@@ -1,0 +1,51 @@
+"""The per-vertex processor abstraction.
+
+Each vertex of the communication graph hosts a :class:`Node`.  A node owns a
+mutable ``state`` dictionary that phases read and write, an ``inbox`` that the
+scheduler fills with the messages delivered in the current round, and a
+``halted`` flag that the node's phase sets when it has terminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Tuple
+
+
+@dataclass
+class Node:
+    """State container for a single vertex of the network.
+
+    Attributes
+    ----------
+    node_id:
+        The vertex identifier in the communication graph.  May be any hashable
+        value (plain integers for ordinary graphs, canonical edge tuples for
+        line graphs).
+    unique_id:
+        The distinct identity number from ``{1, ..., n}`` the paper assumes
+        every processor holds.  Assigned by :class:`~repro.local_model.network.Network`.
+    neighbors:
+        Tuple of neighbor identifiers, sorted for determinism.
+    state:
+        Per-phase mutable state.  Reset by the scheduler between pipelines but
+        shared between phases of the same pipeline so that later phases can
+        consume the outputs of earlier ones.
+    halted:
+        ``True`` once the currently running phase has terminated at this node.
+    """
+
+    node_id: Hashable
+    unique_id: int
+    neighbors: Tuple[Hashable, ...]
+    state: Dict[str, Any] = field(default_factory=dict)
+    halted: bool = False
+
+    @property
+    def degree(self) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors)
+
+    def reset_for_phase(self) -> None:
+        """Clear the per-phase halted flag (state is preserved across phases)."""
+        self.halted = False

@@ -1,0 +1,62 @@
+"""Classical distributed-coloring primitives the paper builds on.
+
+These are the black boxes of Lemma 2.1, Theorem 4.7 and Corollary 5.4:
+
+* :mod:`repro.primitives.linial` -- Linial's ``O(Delta^2)``-coloring in
+  ``log* n`` rounds (Lemma 2.1(1)),
+* :mod:`repro.primitives.color_reduction` -- iterative and
+  Kuhn-Wattenhofer-style color reduction, giving the ``(Delta + 1)``-coloring
+  used as Lemma 2.1(2),
+* :mod:`repro.primitives.kuhn_defective` -- the ``floor(Delta/p)``-defective
+  ``O(p^2)``-coloring of Lemma 2.1(3) / Theorem 4.7,
+* :mod:`repro.primitives.kuhn_defective_edge` -- Kuhn's ``O(1)``-round
+  defective edge coloring of Corollary 5.4,
+* :mod:`repro.primitives.numbers` -- primes, base-``q`` digit expansions and
+  the iterated logarithm.
+"""
+
+from repro.primitives.color_reduction import (
+    IterativeColorReductionPhase,
+    KuhnWattenhoferReductionPhase,
+    delta_plus_one_pipeline,
+)
+from repro.primitives.kuhn_defective import (
+    DefectiveStepPhase,
+    defective_coloring_pipeline,
+    defective_step_parameters,
+)
+from repro.primitives.kuhn_defective_edge import KuhnDefectiveEdgeColoringPhase
+from repro.primitives.linial import (
+    LinialColoringPhase,
+    linial_final_palette,
+    linial_schedule,
+)
+from repro.primitives.numbers import (
+    base_q_digits,
+    ceil_div,
+    ceil_log,
+    is_prime,
+    log_star,
+    next_prime,
+    poly_eval,
+)
+
+__all__ = [
+    "DefectiveStepPhase",
+    "IterativeColorReductionPhase",
+    "KuhnDefectiveEdgeColoringPhase",
+    "KuhnWattenhoferReductionPhase",
+    "LinialColoringPhase",
+    "base_q_digits",
+    "ceil_div",
+    "ceil_log",
+    "defective_coloring_pipeline",
+    "defective_step_parameters",
+    "delta_plus_one_pipeline",
+    "is_prime",
+    "linial_final_palette",
+    "linial_schedule",
+    "log_star",
+    "next_prime",
+    "poly_eval",
+]

@@ -1,0 +1,130 @@
+"""Kuhn's ``O(1)``-round defective *edge* coloring (Corollary 5.4).
+
+For a parameter ``p'``, every vertex ``v`` labels its incident edges with
+labels from ``{1, ..., p'}`` so that no label is used more than
+``ceil(Delta / p')`` times; the color of an edge ``e = (u, w)`` is the ordered
+pair of the two labels its endpoints assigned to it (ordered by the
+identifiers of ``u`` and ``w``).  The palette has ``p'^2`` colors and the
+defect is at most ``4 * ceil(Delta / p')`` (at each endpoint, at most
+``ceil(Delta / p')`` incident edges can repeat either coordinate of the pair).
+
+In this repository the routine runs on the line-graph network: each
+line-graph node *is* an edge ``(u, w)`` of ``G`` and can compute both of its
+labels locally once it knows which of its incident edges participate (its
+line-graph neighbors sharing the endpoint), because every vertex's labeling
+rule is the deterministic "sort the incident edges and chunk" rule.  The only
+communication needed is one round to learn which neighbors are *active*
+(belong to the same subgraph of the Legal-Color recursion); when no class
+restriction is supplied the phase still spends that one round, matching the
+``O(1)`` cost the paper charges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.local_model.algorithm import LocalView, SynchronousPhase
+from repro.primitives.numbers import ceil_div
+
+
+class KuhnDefectiveEdgeColoringPhase(SynchronousPhase):
+    """Corollary 5.4 as a one-round phase on a line-graph network.
+
+    Parameters
+    ----------
+    p_prime:
+        The label range ``p'`` (the resulting palette is ``p'^2``).
+    degree_bound:
+        An upper bound on the maximum degree of the *original* graph ``G``
+        restricted to the participating edges.
+    output_key:
+        State key the edge color is written to (an integer in
+        ``{1, ..., p'^2}``).
+    class_key:
+        Optional state key identifying the subgraph (recursion path) the edge
+        currently belongs to.  Only incident edges with an equal class value
+        are counted when computing label ranks, which is how the routine is
+        reused at every level of the Legal-Color recursion.
+    """
+
+    def __init__(
+        self,
+        p_prime: int,
+        degree_bound: int,
+        output_key: str = "defective_edge_color",
+        class_key: Optional[str] = None,
+    ) -> None:
+        if p_prime < 1:
+            raise InvalidParameterError("p_prime must be at least 1")
+        if degree_bound < 1:
+            raise InvalidParameterError("degree_bound must be at least 1")
+        self.name = f"kuhn-defective-edge[p'={p_prime}]"
+        self.p_prime = p_prime
+        self.degree_bound = degree_bound
+        self.output_key = output_key
+        self.class_key = class_key
+        self.output_palette = p_prime * p_prime
+        self.defect_bound = 4 * ceil_div(degree_bound, p_prime)
+        self._chunk = max(1, ceil_div(degree_bound, p_prime))
+
+    # ------------------------------------------------------------------ #
+
+    def initialize(self, view: LocalView, state: Dict[str, Any]) -> None:
+        node_id = view.node_id
+        if not (isinstance(node_id, tuple) and len(node_id) == 2):
+            raise InvalidParameterError(
+                "Kuhn's defective edge coloring must run on a line-graph network "
+                "whose node identifiers are edge 2-tuples"
+            )
+
+    def send(
+        self, view: LocalView, state: Dict[str, Any], round_index: int
+    ) -> Mapping[Hashable, Any]:
+        own_class = state.get(self.class_key) if self.class_key else None
+        return {neighbor: {"class": own_class} for neighbor in view.neighbors}
+
+    def receive(
+        self,
+        view: LocalView,
+        state: Dict[str, Any],
+        inbox: Mapping[Hashable, Any],
+        round_index: int,
+    ) -> bool:
+        own_class = state.get(self.class_key) if self.class_key else None
+        active_neighbors = [
+            neighbor
+            for neighbor, payload in inbox.items()
+            if payload.get("class") == own_class
+        ]
+
+        endpoint_a, endpoint_b = view.node_id
+        label_a = self._label_at_endpoint(endpoint_a, view.node_id, active_neighbors)
+        label_b = self._label_at_endpoint(endpoint_b, view.node_id, active_neighbors)
+        state[self.output_key] = (label_a - 1) * self.p_prime + label_b
+        return True
+
+    def max_rounds(self, n: int, max_degree: int) -> int:
+        return 2
+
+    # ------------------------------------------------------------------ #
+
+    def _label_at_endpoint(
+        self,
+        endpoint: Hashable,
+        own_edge: Tuple[Hashable, Hashable],
+        active_neighbors: List[Tuple[Hashable, Hashable]],
+    ) -> int:
+        """The label the vertex ``endpoint`` assigns to ``own_edge``.
+
+        Every edge incident to ``endpoint`` (within the active class) computes
+        the same deterministic ordering of that incidence list, so all of them
+        agree on the labeling without any extra communication.
+        """
+        incident = [own_edge] + [
+            neighbor for neighbor in active_neighbors if endpoint in neighbor
+        ]
+        incident.sort(key=repr)
+        rank = incident.index(own_edge)
+        label = rank // self._chunk + 1
+        return min(label, self.p_prime)

@@ -1,0 +1,127 @@
+"""Arithmetic helpers: primes, base-``q`` expansions, and the iterated log.
+
+Linial's algorithm and the defective-coloring steps encode a color as the
+coefficient vector of a polynomial over a prime field ``GF(q)``; this module
+provides the small number-theoretic utilities those constructions need, plus
+the ``log*`` function that appears throughout the paper's running-time bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.exceptions import InvalidParameterError
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division (``ceil(numerator / denominator)``)."""
+    if denominator <= 0:
+        raise InvalidParameterError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def is_prime(value: int) -> bool:
+    """Deterministic primality test (trial division, adequate for our sizes)."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def next_prime(value: int) -> int:
+    """The smallest prime greater than or equal to ``value`` (at least 2)."""
+    candidate = max(2, value)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def ceil_log(value: int, base: float = 2.0) -> int:
+    """``ceil(log_base(value))`` for ``value >= 1`` (0 when ``value == 1``)."""
+    if value < 1:
+        raise InvalidParameterError("value must be at least 1")
+    if base <= 1:
+        raise InvalidParameterError("base must exceed 1")
+    result = 0
+    power = 1.0
+    while power < value:
+        power *= base
+        result += 1
+    return result
+
+
+def log_star(value: float) -> int:
+    """The iterated logarithm ``log* value`` (base 2), as defined in Section 2.
+
+    ``log* value = min { i : log^(i) value <= 2 }``.
+    """
+    if value <= 2:
+        return 0
+    count = 0
+    current = float(value)
+    while current > 2:
+        current = math.log2(current)
+        count += 1
+    return count
+
+
+def base_q_digits(value: int, q: int, num_digits: int) -> List[int]:
+    """The ``num_digits`` least-significant base-``q`` digits of ``value``.
+
+    Used to interpret a color as the coefficient vector of a polynomial over
+    ``GF(q)``: color ``value`` becomes the polynomial whose ``i``-th
+    coefficient is the ``i``-th digit.
+    """
+    if q < 2:
+        raise InvalidParameterError("base q must be at least 2")
+    if num_digits < 1:
+        raise InvalidParameterError("num_digits must be at least 1")
+    if value < 0:
+        raise InvalidParameterError("value must be non-negative")
+    digits = []
+    remaining = value
+    for _ in range(num_digits):
+        digits.append(remaining % q)
+        remaining //= q
+    if remaining:
+        raise InvalidParameterError(
+            f"value {value} does not fit in {num_digits} base-{q} digits"
+        )
+    return digits
+
+
+def num_base_q_digits(max_value: int, q: int) -> int:
+    """How many base-``q`` digits are needed to represent values ``< max_value``."""
+    if max_value < 1:
+        raise InvalidParameterError("max_value must be at least 1")
+    if q < 2:
+        raise InvalidParameterError("base q must be at least 2")
+    digits = 1
+    capacity = q
+    while capacity < max_value:
+        capacity *= q
+        digits += 1
+    return digits
+
+
+def poly_eval(coefficients: List[int], point: int, q: int) -> int:
+    """Evaluate the polynomial with the given coefficients at ``point`` over ``GF(q)``.
+
+    ``coefficients[i]`` is the coefficient of ``x^i``.  Horner's rule, all
+    arithmetic modulo ``q``.
+    """
+    if q < 2:
+        raise InvalidParameterError("modulus q must be at least 2")
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * point + coefficient) % q
+    return result

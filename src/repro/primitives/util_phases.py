@@ -1,0 +1,64 @@
+"""Small reusable zero-round phases.
+
+These are purely local state transformations (the paper charges them zero
+rounds): copying a computed color into a differently named slot, assigning a
+constant color, or combining per-level colors into a unified palette.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.local_model.algorithm import LocalComputationPhase, LocalView
+
+
+class CopyKeyPhase(LocalComputationPhase):
+    """Copy ``state[source_key]`` into ``state[target_key]`` (zero rounds)."""
+
+    def __init__(self, source_key: str, target_key: str) -> None:
+        self.name = f"copy[{source_key}->{target_key}]"
+        self._source_key = source_key
+        self._target_key = target_key
+
+    def compute(self, view: LocalView, state: Dict[str, Any]) -> None:
+        state[self._target_key] = state[self._source_key]
+
+
+class ConstantColorPhase(LocalComputationPhase):
+    """Assign the same constant color to every node (zero rounds).
+
+    Only legal when the (sub)graph being colored has no edges -- e.g. a
+    degree-0 bound at the bottom of a recursion.
+    """
+
+    def __init__(self, output_key: str, color: int = 1) -> None:
+        self.name = f"constant-color[{color}]"
+        self._output_key = output_key
+        self._color = color
+
+    def compute(self, view: LocalView, state: Dict[str, Any]) -> None:
+        state[self._output_key] = self._color
+
+
+class TransformKeyPhase(LocalComputationPhase):
+    """Apply a pure function to one state key and store the result in another.
+
+    The function receives ``(view, value)`` so transformations may depend on
+    locally available information (e.g. the node's unique identifier), but on
+    nothing else -- keeping the zero-round claim honest.
+    """
+
+    def __init__(
+        self,
+        source_key: str,
+        target_key: str,
+        transform: Callable[[LocalView, Any], Any],
+        name: str = "transform",
+    ) -> None:
+        self.name = name
+        self._source_key = source_key
+        self._target_key = target_key
+        self._transform = transform
+
+    def compute(self, view: LocalView, state: Dict[str, Any]) -> None:
+        state[self._target_key] = self._transform(view, state[self._source_key])

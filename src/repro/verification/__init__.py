@@ -1,0 +1,29 @@
+"""Verification oracles for colorings and for the paper's quantitative bounds."""
+
+from repro.verification.coloring import (
+    assert_legal_edge_coloring,
+    assert_legal_vertex_coloring,
+    coloring_defect,
+    edge_coloring_defect,
+    is_legal_edge_coloring,
+    is_legal_vertex_coloring,
+    palette_size,
+)
+from repro.verification.bounds import (
+    assert_defective_coloring,
+    theorem_3_7_defect_bound,
+    verify_legal_coloring_result,
+)
+
+__all__ = [
+    "assert_defective_coloring",
+    "assert_legal_edge_coloring",
+    "assert_legal_vertex_coloring",
+    "coloring_defect",
+    "edge_coloring_defect",
+    "is_legal_edge_coloring",
+    "is_legal_vertex_coloring",
+    "palette_size",
+    "theorem_3_7_defect_bound",
+    "verify_legal_coloring_result",
+]

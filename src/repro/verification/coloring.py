@@ -1,0 +1,146 @@
+"""Coloring legality, defect and palette verification.
+
+These oracles are used throughout the tests and benchmark harnesses to check
+the outputs of every distributed run against the definitions in Sections 1
+and 3 of the paper:
+
+* a *legal* vertex coloring assigns different colors to adjacent vertices;
+* a *legal* edge coloring assigns different colors to incident edges;
+* the *defect* of a vertex coloring is the maximum, over all vertices, of the
+  number of neighbors sharing the vertex's color (and analogously for edges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.exceptions import ColoringError
+from repro.local_model.network import Network
+
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def palette_size(colors: Mapping[Hashable, int]) -> int:
+    """Number of distinct colors used by a coloring."""
+    return len(set(colors.values()))
+
+
+def max_color(colors: Mapping[Hashable, int]) -> int:
+    """The largest color value used (0 for an empty coloring)."""
+    return max(colors.values(), default=0)
+
+
+# --------------------------------------------------------------------------- #
+# Vertex colorings
+# --------------------------------------------------------------------------- #
+
+
+def is_legal_vertex_coloring(network: Network, colors: Mapping[Hashable, int]) -> bool:
+    """Whether ``colors`` is a legal vertex coloring of ``network``."""
+    return _find_vertex_violation(network, colors) is None
+
+
+def assert_legal_vertex_coloring(
+    network: Network, colors: Mapping[Hashable, int], context: str = "vertex coloring"
+) -> None:
+    """Raise :class:`~repro.exceptions.ColoringError` if the coloring is not legal."""
+    violation = _find_vertex_violation(network, colors)
+    if violation is not None:
+        u, v = violation
+        raise ColoringError(
+            f"{context}: adjacent vertices {u!r} and {v!r} share color {colors[u]}"
+        )
+
+
+def coloring_defect(network: Network, colors: Mapping[Hashable, int]) -> int:
+    """The defect of a vertex coloring (0 for a legal coloring)."""
+    worst = 0
+    for node in network.nodes():
+        same = sum(
+            1
+            for neighbor in network.neighbors(node)
+            if colors[neighbor] == colors[node]
+        )
+        worst = max(worst, same)
+    return worst
+
+
+def _find_vertex_violation(
+    network: Network, colors: Mapping[Hashable, int]
+) -> Optional[Tuple[Hashable, Hashable]]:
+    missing = [node for node in network.nodes() if node not in colors]
+    if missing:
+        raise ColoringError(f"coloring misses {len(missing)} vertices (e.g. {missing[0]!r})")
+    for u, v in network.edges():
+        if colors[u] == colors[v]:
+            return (u, v)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Edge colorings
+# --------------------------------------------------------------------------- #
+
+
+def _normalize_edge_colors(
+    network: Network, edge_colors: Mapping[EdgeKey, int]
+) -> Dict[frozenset, int]:
+    normalized: Dict[frozenset, int] = {}
+    for (u, v), color in edge_colors.items():
+        normalized[frozenset((u, v))] = color
+    missing = [edge for edge in network.edges() if frozenset(edge) not in normalized]
+    if missing:
+        raise ColoringError(
+            f"edge coloring misses {len(missing)} edges (e.g. {missing[0]!r})"
+        )
+    return normalized
+
+
+def is_legal_edge_coloring(
+    network: Network, edge_colors: Mapping[EdgeKey, int]
+) -> bool:
+    """Whether ``edge_colors`` is a legal edge coloring of ``network``."""
+    return _find_edge_violation(network, edge_colors) is None
+
+
+def assert_legal_edge_coloring(
+    network: Network, edge_colors: Mapping[EdgeKey, int], context: str = "edge coloring"
+) -> None:
+    """Raise :class:`~repro.exceptions.ColoringError` if the edge coloring is not legal."""
+    violation = _find_edge_violation(network, edge_colors)
+    if violation is not None:
+        e1, e2, color = violation
+        raise ColoringError(
+            f"{context}: incident edges {e1!r} and {e2!r} share color {color}"
+        )
+
+
+def edge_coloring_defect(network: Network, edge_colors: Mapping[EdgeKey, int]) -> int:
+    """The defect of an edge coloring (max incident same-colored edges per edge)."""
+    normalized = _normalize_edge_colors(network, edge_colors)
+    worst = 0
+    for u, v in network.edges():
+        own = normalized[frozenset((u, v))]
+        same = 0
+        for endpoint, other in ((u, v), (v, u)):
+            for neighbor in network.neighbors(endpoint):
+                if neighbor == other:
+                    continue
+                if normalized[frozenset((endpoint, neighbor))] == own:
+                    same += 1
+        worst = max(worst, same)
+    return worst
+
+
+def _find_edge_violation(
+    network: Network, edge_colors: Mapping[EdgeKey, int]
+) -> Optional[Tuple[EdgeKey, EdgeKey, int]]:
+    normalized = _normalize_edge_colors(network, edge_colors)
+    for node in network.nodes():
+        seen: Dict[int, Hashable] = {}
+        for neighbor in network.neighbors(node):
+            color = normalized[frozenset((node, neighbor))]
+            if color in seen:
+                return ((node, seen[color]), (node, neighbor), color)
+            seen[color] = neighbor
+    return None

@@ -1,0 +1,95 @@
+"""Unit tests for the analytic complexity curves and report formatting."""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import (
+    colors_new_linear,
+    colors_new_superlinear,
+    colors_panconesi_rizzi,
+    rounds_be10_linear,
+    rounds_be10_superlinear,
+    rounds_new_linear,
+    rounds_new_superlinear,
+    rounds_panconesi_rizzi,
+    rounds_schneider_wattenhofer,
+)
+from repro.analysis.reporting import Series, crossover_point, format_table
+from repro.primitives.numbers import log_star
+
+
+class TestComplexityCurves:
+    def test_new_superlinear_beats_pr_for_moderate_delta(self):
+        # The paper's headline: exponential improvement over O(Delta) once
+        # Delta = omega(log* n).
+        n = 4096
+        for delta in (16, 64, 256):
+            assert rounds_new_superlinear(delta, n) < rounds_panconesi_rizzi(delta, n)
+
+    def test_new_beats_be10_when_delta_polylogarithmic(self):
+        n = 2**20
+        delta = 64  # polylog(n)
+        assert rounds_new_superlinear(delta, n) < rounds_be10_superlinear(delta, n)
+        assert rounds_new_linear(delta, n) < rounds_be10_linear(delta, n)
+
+    def test_pr_wins_at_tiny_delta(self):
+        # For Delta = O(log* n) the additive log* n terms dominate and the
+        # baseline is as good as the new algorithm -- Table 1's left boundary.
+        n = 4096
+        delta = 2
+        assert rounds_panconesi_rizzi(delta, n) <= rounds_new_linear(delta, n) + delta
+
+    def test_randomized_baseline_comparison_matches_table_2(self):
+        # For Delta <= log^{1-delta} n, the new deterministic bound
+        # log Delta + log* n is below sqrt(log n) once Delta is small enough.
+        n = 2**64
+        delta = 8
+        assert rounds_new_superlinear(delta, n) < rounds_schneider_wattenhofer(delta, n) + log_star(n)
+
+    def test_color_curves(self):
+        assert colors_panconesi_rizzi(10) == 19
+        assert colors_new_linear(10) >= 10
+        assert colors_new_superlinear(10, eta=0.5) > 10
+        assert colors_panconesi_rizzi(0) == 1
+
+    def test_curves_are_monotone_in_delta(self):
+        n = 4096
+        for curve in (rounds_panconesi_rizzi, rounds_new_linear, rounds_new_superlinear):
+            values = [curve(delta, n) for delta in (2, 8, 32, 128)]
+            assert values == sorted(values)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        table = format_table(
+            ["Delta", "rounds"],
+            [[4, 10], [8, 20.5]],
+            title="Example",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Example"
+        assert "Delta" in lines[1] and "rounds" in lines[1]
+        assert "20.50" in lines[-1]
+        # All data lines share the same width.
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_series_accumulates(self):
+        series = Series("measured")
+        series.add(2, 10)
+        series.add(4, 12)
+        assert series.as_rows() == [(2.0, 10.0), (4.0, 12.0)]
+
+    def test_crossover_point_found(self):
+        new = Series("new")
+        base = Series("baseline")
+        for delta in (2, 4, 8, 16):
+            new.add(delta, 10)           # flat
+            base.add(delta, delta)       # linear
+        assert crossover_point(new, base) == 16
+
+    def test_crossover_point_absent(self):
+        new = Series("new")
+        base = Series("baseline")
+        for delta in (2, 4):
+            new.add(delta, 100)
+            base.add(delta, 1)
+        assert crossover_point(new, base) is None

@@ -1,0 +1,115 @@
+"""Unit tests for the Legal-Color parameter presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    LegalColorParameters,
+    implied_color_exponent,
+    params_for_few_rounds,
+    params_for_linear_colors,
+    params_for_subpolynomial_rounds,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestLinearColorsPreset:
+    def test_constraints_hold_when_recursion_runs(self):
+        for delta in (64, 256, 1024, 4096):
+            params = params_for_linear_colors(delta, c=2, epsilon=0.75)
+            if delta > params.threshold:
+                assert params.b * params.p <= delta
+                assert params.p > 4  # > 2c for c = 2
+            params.validate(delta, c=2)
+
+    def test_scaling_with_delta(self):
+        small = params_for_linear_colors(64, c=2)
+        large = params_for_linear_colors(4096, c=2)
+        assert large.p >= small.p
+        assert large.threshold >= small.threshold
+
+    def test_threshold_grows_like_delta_to_epsilon(self):
+        params = params_for_linear_colors(2**12, c=2, epsilon=0.5)
+        assert params.threshold >= 2**6
+        assert params.threshold <= 2**9
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            params_for_linear_colors(100, c=2, epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            params_for_linear_colors(100, c=2, epsilon=1.5)
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            params_for_linear_colors(100, c=0)
+
+
+class TestFewRoundsPreset:
+    def test_parameters_are_delta_independent(self):
+        first = params_for_few_rounds(100, c=2)
+        second = params_for_few_rounds(100_000, c=2)
+        assert (first.b, first.p, first.threshold) == (second.b, second.p, second.threshold)
+
+    def test_p_exceeds_independence_requirement(self):
+        for c in (1, 2, 3, 4):
+            params = params_for_few_rounds(10_000, c=c)
+            assert params.p > 4 * c
+
+    def test_validation_passes_for_large_delta(self):
+        params = params_for_few_rounds(10_000, c=2)
+        params.validate(10_000, c=2)
+
+    def test_explicit_p_and_b(self):
+        params = params_for_few_rounds(1000, c=2, p=27, b=3)
+        assert params.p == 27
+        assert params.b == 3
+
+
+class TestSubpolynomialPreset:
+    def test_threshold_polylogarithmic(self):
+        params = params_for_subpolynomial_rounds(2**20, c=2, eta=0.5)
+        assert params.threshold <= 64
+
+    def test_validation(self):
+        params = params_for_subpolynomial_rounds(2**16, c=2)
+        params.validate(2**16, c=2)
+
+    def test_invalid_eta(self):
+        with pytest.raises(InvalidParameterError):
+            params_for_subpolynomial_rounds(100, c=2, eta=0)
+
+
+class TestValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LegalColorParameters(b=0, p=4, threshold=4, description="x").validate(100, 2)
+        with pytest.raises(InvalidParameterError):
+            LegalColorParameters(b=1, p=200, threshold=4, description="x").validate(100, 2)
+        with pytest.raises(InvalidParameterError):
+            LegalColorParameters(b=1, p=3, threshold=4, description="x").validate(100, 2)
+
+    def test_small_delta_skips_recursion_constraints(self):
+        # Below the threshold the recursion never runs, so even "invalid"
+        # b/p combinations are acceptable.
+        LegalColorParameters(b=1, p=3, threshold=500, description="x").validate(100, 2)
+
+
+class TestImpliedExponent:
+    def test_linear_preset_has_finite_exponent(self):
+        # The generic per-level estimate is pessimistic for the linear preset
+        # (its O(Delta) palette comes from the Lemma 4.4 telescoping, not from
+        # this formula), but the recursion must at least be shrinking.
+        params = params_for_linear_colors(4096, c=2, epsilon=0.75)
+        exponent = implied_color_exponent(params, c=2)
+        assert exponent != float("inf")
+        assert exponent < 3.0
+
+    def test_larger_p_means_smaller_exponent(self):
+        small_p = params_for_few_rounds(10**6, c=2, p=9, b=2)
+        large_p = params_for_few_rounds(10**6, c=2, p=81, b=2)
+        assert implied_color_exponent(large_p, 2) < implied_color_exponent(small_p, 2)
+
+    def test_non_shrinking_parameters_report_infinity(self):
+        params = LegalColorParameters(b=1, p=2, threshold=5, description="x")
+        assert implied_color_exponent(params, c=2) == float("inf")

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs end to end and validates its output."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs_to_completion(path, capsys):
+    module = _load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must expose a main() entry point"
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} should print a report"

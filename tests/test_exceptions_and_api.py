@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    ColoringError,
+    GraphPropertyError,
+    HypergraphError,
+    InvalidParameterError,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            ColoringError,
+            GraphPropertyError,
+            HypergraphError,
+            InvalidParameterError,
+            RoundLimitExceeded,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Parameter and graph errors double as ValueError so generic callers
+        # can catch them idiomatically.
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(GraphPropertyError, ValueError)
+        assert issubclass(HypergraphError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(RoundLimitExceeded, SimulationError)
+
+    def test_catching_base_class_catches_specific(self):
+        with pytest.raises(ReproError):
+            raise RoundLimitExceeded("phase ran too long")
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_main_entry_points_exposed(self):
+        assert callable(repro.color_edges)
+        assert callable(repro.color_vertices)
+        assert callable(repro.run_defective_color)
+        assert callable(repro.run_legal_coloring)
+        assert callable(repro.randomized_color_vertices)
+        assert callable(repro.tradeoff_color_vertices)
+
+    def test_subpackages_exposed(self):
+        for module_name in ("graphs", "core", "local_model", "primitives", "baselines", "verification", "analysis"):
+            assert hasattr(repro, module_name)
+
+    def test_quickstart_snippet_from_docstring(self):
+        # The README / package-docstring quickstart must keep working.
+        network = repro.graphs.random_regular(20, 4, seed=1)
+        result = repro.color_edges(network, quality="superlinear")
+        repro.verification.assert_legal_edge_coloring(network, result.edge_colors)
+        assert result.colors_used >= network.max_degree

@@ -1,0 +1,103 @@
+"""Unit tests for line-graph construction (Lemma 5.1 / 5.2 structural facts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.graphs.line_graph import build_line_graph_network, canonical_edge, line_graph_network
+from repro.graphs.properties import has_neighborhood_independence_at_most
+
+
+class TestCanonicalEdge:
+    def test_orders_by_unique_id(self, triangle):
+        a, b = triangle.nodes()[0], triangle.nodes()[1]
+        edge = canonical_edge(triangle, b, a)
+        assert triangle.unique_id(edge[0]) < triangle.unique_id(edge[1])
+
+    def test_same_result_for_both_orders(self, small_regular):
+        u, v = small_regular.edges()[0]
+        assert canonical_edge(small_regular, u, v) == canonical_edge(small_regular, v, u)
+
+
+class TestLineGraphStructure:
+    def test_vertex_count_equals_edge_count(self, small_regular):
+        line = line_graph_network(small_regular)
+        assert line.num_nodes == small_regular.num_edges
+
+    def test_degree_bound_of_lemma_5_2(self, small_regular):
+        line = line_graph_network(small_regular)
+        assert line.max_degree <= 2 * (small_regular.max_degree - 1)
+
+    def test_adjacency_means_sharing_an_endpoint(self, medium_regular):
+        line = line_graph_network(medium_regular)
+        for e1 in line.nodes():
+            for e2 in line.neighbors(e1):
+                assert set(e1) & set(e2), f"{e1} and {e2} adjacent but disjoint"
+
+    def test_non_adjacent_edges_are_not_neighbors(self):
+        # Two disjoint edges: their line graph has no edges.
+        network = graphs.Network.from_edges([(1, 2), (3, 4)]) if hasattr(graphs, "Network") else None
+        from repro.local_model import Network
+
+        network = Network.from_edges([(1, 2), (3, 4)])
+        line = line_graph_network(network)
+        assert line.num_nodes == 2
+        assert line.num_edges == 0
+
+    def test_triangle_line_graph_is_triangle(self, triangle):
+        line = line_graph_network(triangle)
+        assert line.num_nodes == 3
+        assert line.num_edges == 3
+
+    def test_star_line_graph_is_clique(self):
+        star = graphs.star_graph(5)
+        line = line_graph_network(star)
+        assert line.num_nodes == 5
+        assert line.num_edges == 10  # K5
+
+    def test_path_line_graph_is_shorter_path(self):
+        path = graphs.path_graph(6)
+        line = line_graph_network(path)
+        assert line.num_nodes == 5
+        assert line.num_edges == 4
+        assert line.max_degree == 2
+
+    def test_lemma_5_1_independence_bound(self, medium_regular):
+        line = line_graph_network(medium_regular)
+        assert has_neighborhood_independence_at_most(line, 2)
+
+    def test_empty_graph_line_graph(self):
+        from repro.local_model import Network
+
+        line = line_graph_network(Network({1: [], 2: []}))
+        assert line.num_nodes == 0
+
+
+class TestIdentifiers:
+    def test_edge_ids_are_unique_and_cover_all_edges(self, small_regular):
+        line, edge_ids = build_line_graph_network(small_regular)
+        assert len(edge_ids) == small_regular.num_edges
+        assert sorted(edge_ids.values()) == list(range(1, small_regular.num_edges + 1))
+
+    def test_edge_ids_sorted_by_endpoint_pair(self, small_regular):
+        line, edge_ids = build_line_graph_network(small_regular)
+        pairs = {
+            edge: (small_regular.unique_id(edge[0]), small_regular.unique_id(edge[1]))
+            for edge in edge_ids
+        }
+        ordered = sorted(edge_ids, key=lambda e: edge_ids[e])
+        assert [pairs[e] for e in ordered] == sorted(pairs[e] for e in ordered)
+
+    def test_line_network_uses_the_returned_ids(self, small_regular):
+        line, edge_ids = build_line_graph_network(small_regular)
+        for edge, unique_id in edge_ids.items():
+            assert line.unique_id(edge) == unique_id
+
+    def test_node_ids_are_canonical_edge_tuples(self, small_regular):
+        line, _ = build_line_graph_network(small_regular)
+        for edge in line.nodes():
+            assert isinstance(edge, tuple) and len(edge) == 2
+            u, v = edge
+            assert small_regular.unique_id(u) < small_regular.unique_id(v)
+            assert small_regular.has_edge(u, v)

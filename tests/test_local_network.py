@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.local_model.network`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.exceptions import InvalidParameterError
+from repro.local_model import Network
+
+
+class TestConstruction:
+    def test_from_adjacency_symmetrizes_missing_reverse_entries(self):
+        network = Network({1: [2], 2: [], 3: []})
+        assert network.has_edge(2, 1)
+        assert network.degree(2) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Network({1: [1]})
+
+    def test_from_edges_with_isolated_nodes(self):
+        network = Network.from_edges([(1, 2), (2, 3)], isolated_nodes=[9])
+        assert network.num_nodes == 4
+        assert network.degree(9) == 0
+
+    def test_from_networkx_round_trip(self):
+        graph = nx.path_graph(6)
+        network = Network.from_networkx(graph)
+        back = network.to_networkx()
+        assert set(back.edges) == set(graph.edges)
+        assert set(back.nodes) == set(graph.nodes)
+
+    def test_empty_network(self):
+        network = Network({})
+        assert network.num_nodes == 0
+        assert network.num_edges == 0
+        assert network.max_degree == 0
+        assert network.nodes() == ()
+
+
+class TestAccessors:
+    def test_basic_counts(self, small_regular):
+        assert small_regular.num_nodes == 24
+        assert small_regular.max_degree == 4
+        assert small_regular.num_edges == 24 * 4 // 2
+
+    def test_neighbors_are_sorted_and_consistent(self, small_regular):
+        for node in small_regular.nodes():
+            neighbors = small_regular.neighbors(node)
+            assert list(neighbors) == sorted(neighbors, key=repr)
+            for neighbor in neighbors:
+                assert small_regular.has_edge(node, neighbor)
+                assert small_regular.has_edge(neighbor, node)
+
+    def test_edges_are_canonical_and_unique(self, small_regular):
+        edges = small_regular.edges()
+        assert len(edges) == len(set(map(frozenset, edges)))
+
+    def test_contains_iter_len(self, triangle):
+        assert 0 in triangle
+        assert 99 not in triangle
+        assert sorted(triangle) == [0, 1, 2]
+        assert len(triangle) == 3
+
+    def test_degree_of_missing_node_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.degree(42)
+
+
+class TestUniqueIds:
+    def test_ids_are_a_permutation_of_1_to_n(self, small_regular):
+        ids = sorted(small_regular.unique_id(node) for node in small_regular.nodes())
+        assert ids == list(range(1, small_regular.num_nodes + 1))
+
+    def test_explicit_ids_respected(self):
+        network = Network({1: [2], 2: []}, unique_ids={1: 7, 2: 3})
+        assert network.unique_id(1) == 7
+        assert network.unique_id(2) == 3
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Network({1: [2], 2: []}, unique_ids={1: 5, 2: 5})
+
+    def test_missing_ids_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Network({1: [2], 2: []}, unique_ids={1: 5})
+
+
+class TestDerivedNetworks:
+    def test_filtered_by_edge_keeps_all_nodes(self, small_regular):
+        filtered = small_regular.filtered_by_edge(lambda u, v: False)
+        assert filtered.num_nodes == small_regular.num_nodes
+        assert filtered.num_edges == 0
+
+    def test_filtered_by_edge_preserves_unique_ids(self, small_regular):
+        filtered = small_regular.filtered_by_edge(lambda u, v: u % 2 == v % 2)
+        for node in small_regular.nodes():
+            assert filtered.unique_id(node) == small_regular.unique_id(node)
+
+    def test_filtered_by_edge_is_subset(self, small_regular):
+        filtered = small_regular.filtered_by_edge(lambda u, v: u % 2 == v % 2)
+        original_edges = set(map(frozenset, small_regular.edges()))
+        for edge in filtered.edges():
+            assert frozenset(edge) in original_edges
+
+    def test_induced_subgraph(self, fig1_graph):
+        clique_nodes = [node for node in fig1_graph.nodes() if node[0] == "clique"]
+        induced = fig1_graph.induced_subgraph(clique_nodes)
+        assert induced.num_nodes == len(clique_nodes)
+        assert induced.max_degree == len(clique_nodes) - 1
+
+    def test_induced_subgraph_unknown_node_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            triangle.induced_subgraph([0, "nope"])
+
+    def test_create_nodes_matches_structure(self, triangle):
+        nodes = triangle.create_nodes()
+        assert set(nodes) == set(triangle.nodes())
+        for node_id, node in nodes.items():
+            assert node.degree == triangle.degree(node_id)
+            assert node.unique_id == triangle.unique_id(node_id)

@@ -1,0 +1,157 @@
+"""Unit tests for the color-reduction phases and the (Delta+1)-coloring pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.exceptions import InvalidParameterError, SimulationError
+from repro.local_model import Scheduler
+from repro.primitives.color_reduction import (
+    IterativeColorReductionPhase,
+    KuhnWattenhoferReductionPhase,
+    delta_plus_one_pipeline,
+)
+from repro.primitives.linial import LinialColoringPhase
+from repro.verification.coloring import assert_legal_vertex_coloring, max_color
+
+
+def legal_seed_coloring(network):
+    """A legal coloring with palette n: the unique identifiers themselves."""
+    return {node: {"seed": network.unique_id(node)} for node in network.nodes()}
+
+
+class TestIterativeReduction:
+    def test_reduces_identifier_coloring_to_delta_plus_one(self, small_regular):
+        phase = IterativeColorReductionPhase(
+            palette=small_regular.num_nodes,
+            target=small_regular.max_degree + 1,
+            input_key="seed",
+            output_key="out",
+        )
+        result = Scheduler(small_regular).run(
+            phase, initial_states=legal_seed_coloring(small_regular)
+        )
+        colors = result.extract("out")
+        assert_legal_vertex_coloring(small_regular, colors)
+        assert max_color(colors) <= small_regular.max_degree + 1
+        assert result.metrics.rounds == small_regular.num_nodes - small_regular.max_degree - 1
+
+    def test_noop_when_palette_already_small(self, triangle):
+        phase = IterativeColorReductionPhase(palette=3, target=3, input_key="seed", output_key="out")
+        result = Scheduler(triangle).run(phase, initial_states=legal_seed_coloring(triangle))
+        assert result.extract("out") == {node: triangle.unique_id(node) for node in triangle.nodes()}
+
+    def test_target_below_degree_plus_one_fails_loudly(self):
+        clique = graphs.complete_graph(5)
+        phase = IterativeColorReductionPhase(palette=5, target=3, input_key="seed", output_key="out")
+        with pytest.raises(SimulationError):
+            Scheduler(clique).run(phase, initial_states=legal_seed_coloring(clique))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            IterativeColorReductionPhase(palette=0, target=1, input_key="a")
+        with pytest.raises(InvalidParameterError):
+            IterativeColorReductionPhase(palette=5, target=0, input_key="a")
+
+    def test_out_of_palette_input_rejected(self, triangle):
+        phase = IterativeColorReductionPhase(palette=2, target=3, input_key="seed", output_key="out")
+        with pytest.raises(InvalidParameterError):
+            Scheduler(triangle).run(phase, initial_states=legal_seed_coloring(triangle))
+
+
+class TestKuhnWattenhoferReduction:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: graphs.random_regular(24, 4, seed=1),
+            lambda: graphs.clique_with_pendants(8),
+            lambda: graphs.cycle_graph(11),
+            lambda: graphs.complete_graph(7),
+        ],
+    )
+    def test_reduces_to_delta_plus_one_legally(self, maker):
+        network = maker()
+        target = network.max_degree + 1
+        phase = KuhnWattenhoferReductionPhase(
+            palette=network.num_nodes, target=target, input_key="seed", output_key="out"
+        )
+        result = Scheduler(network).run(phase, initial_states=legal_seed_coloring(network))
+        colors = result.extract("out")
+        assert_legal_vertex_coloring(network, colors)
+        assert max_color(colors) <= target
+
+    def test_round_count_is_target_times_log_ratio(self, small_regular):
+        target = small_regular.max_degree + 1
+        phase = KuhnWattenhoferReductionPhase(
+            palette=small_regular.num_nodes, target=target, input_key="seed", output_key="out"
+        )
+        assert phase.total_rounds == len(phase.iteration_palettes) * target
+        # The palette roughly halves per iteration, so far fewer rounds than
+        # the one-class-per-round reduction needs.
+        iterative_rounds = small_regular.num_nodes - target
+        assert phase.total_rounds < iterative_rounds
+
+    def test_final_palette_equals_target(self, small_regular):
+        phase = KuhnWattenhoferReductionPhase(
+            palette=200, target=small_regular.max_degree + 1, input_key="seed"
+        )
+        assert phase.final_palette == small_regular.max_degree + 1
+
+    def test_larger_target_than_palette_is_noop(self, triangle):
+        phase = KuhnWattenhoferReductionPhase(palette=3, target=10, input_key="seed", output_key="out")
+        result = Scheduler(triangle).run(phase, initial_states=legal_seed_coloring(triangle))
+        assert max_color(result.extract("out")) <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            KuhnWattenhoferReductionPhase(palette=0, target=3, input_key="a")
+        with pytest.raises(InvalidParameterError):
+            KuhnWattenhoferReductionPhase(palette=10, target=0, input_key="a")
+
+
+class TestDeltaPlusOnePipeline:
+    @pytest.mark.parametrize("use_kw", [True, False])
+    def test_pipeline_produces_delta_plus_one_coloring(self, use_kw):
+        network = graphs.random_regular(20, 4, seed=3)
+        pipeline, palette = delta_plus_one_pipeline(
+            n=network.num_nodes,
+            degree_bound=network.max_degree,
+            output_key="legal",
+            use_kuhn_wattenhofer=use_kw,
+        )
+        result = Scheduler(network).run(pipeline)
+        colors = result.extract("legal")
+        assert_legal_vertex_coloring(network, colors)
+        assert max_color(colors) <= palette == network.max_degree + 1
+
+    def test_pipeline_with_auxiliary_input(self, small_regular):
+        # Compute an auxiliary coloring first, then reduce starting from it.
+        aux = LinialColoringPhase(
+            degree_bound=small_regular.max_degree,
+            initial_palette=small_regular.num_nodes,
+            output_key="rho",
+        )
+        aux_result = Scheduler(small_regular).run(aux)
+        pipeline, palette = delta_plus_one_pipeline(
+            n=small_regular.num_nodes,
+            degree_bound=small_regular.max_degree,
+            initial_palette=aux.final_palette,
+            input_key="rho",
+            output_key="legal",
+        )
+        result = Scheduler(small_regular).run(pipeline, initial_states=aux_result.states)
+        assert_legal_vertex_coloring(small_regular, result.extract("legal"))
+
+    def test_custom_target(self):
+        network = graphs.cycle_graph(12)
+        pipeline, palette = delta_plus_one_pipeline(
+            n=network.num_nodes, degree_bound=2, target=5, output_key="legal"
+        )
+        result = Scheduler(network).run(pipeline)
+        assert palette == 5
+        assert max_color(result.extract("legal")) <= 5
+
+    def test_target_below_degree_plus_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            delta_plus_one_pipeline(n=10, degree_bound=4, target=4)

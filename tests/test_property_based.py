@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random graphs are generated from random edge sets; for every generated input
+the tests check the paper's structural facts (Lemma 5.1, Lemma 3.6), the
+simulator's accounting, and the legality / defect / palette guarantees of the
+colorings produced by the primitives and by the full algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import color_edges, run_defective_color
+from repro.graphs.line_graph import line_graph_network
+from repro.graphs.properties import (
+    has_neighborhood_independence_at_most,
+    neighborhood_independence,
+)
+from repro.local_model import Network, Scheduler
+from repro.local_model.messages import payload_size_words
+from repro.primitives.kuhn_defective import defective_coloring_pipeline
+from repro.primitives.color_reduction import delta_plus_one_pipeline
+from repro.primitives.numbers import base_q_digits, log_star, next_prime, poly_eval
+from repro.primitives.linial import linial_final_palette, linial_schedule
+from repro.verification.coloring import (
+    assert_legal_edge_coloring,
+    assert_legal_vertex_coloring,
+    coloring_defect,
+    max_color,
+)
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def random_edge_lists(draw, max_nodes: int = 12) -> Tuple[int, List[Tuple[int, int]]]:
+    """A random simple graph given as (num_nodes, edge list)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+    )
+    return n, edges
+
+
+def build_network(n: int, edges: List[Tuple[int, int]]) -> Network:
+    return Network.from_edges(edges, isolated_nodes=range(n))
+
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------- #
+# Structural invariants
+# --------------------------------------------------------------------------- #
+
+
+class TestStructuralProperties:
+    @SLOW
+    @given(random_edge_lists())
+    def test_line_graphs_always_have_independence_at_most_two(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        line = line_graph_network(network)
+        assert has_neighborhood_independence_at_most(line, 2)
+
+    @SLOW
+    @given(random_edge_lists())
+    def test_line_graph_size_and_degree_bounds(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        line = line_graph_network(network)
+        assert line.num_nodes == network.num_edges
+        if network.max_degree >= 1:
+            assert line.max_degree <= 2 * (network.max_degree - 1)
+
+    @SLOW
+    @given(random_edge_lists(), st.integers(min_value=0, max_value=5))
+    def test_induced_subgraphs_inherit_bounded_independence(self, data, c):
+        # Lemma 3.6: the family is closed under vertex-induced subgraphs.
+        n, edges = data
+        network = build_network(n, edges)
+        if not has_neighborhood_independence_at_most(network, c):
+            return
+        subset = [node for node in network.nodes() if node % 2 == 0]
+        induced = network.induced_subgraph(subset)
+        assert has_neighborhood_independence_at_most(induced, c)
+
+    @SLOW
+    @given(random_edge_lists())
+    def test_neighborhood_independence_at_most_max_degree(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        assert neighborhood_independence(network) <= max(network.max_degree, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Number-theoretic invariants
+# --------------------------------------------------------------------------- #
+
+
+class TestPrimitivesProperties:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=2, max_value=97))
+    def test_base_q_digits_round_trip(self, value, q):
+        digits = base_q_digits(value, q, num_digits=8) if value < q**8 else None
+        if digits is None:
+            return
+        assert sum(d * q**i for i, d in enumerate(digits)) == value
+        assert all(0 <= d < q for d in digits)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_next_prime_within_bertrand_window(self, value):
+        prime = next_prime(value)
+        assert value <= prime < 2 * value
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_log_star_is_tiny_and_monotone_under_log(self, value):
+        assert 0 <= log_star(value) <= 6
+        assert log_star(value) >= log_star(max(2, value // 2)) - 1
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_poly_eval_is_linear_in_constant_term(self, coefficients, point):
+        q = 11
+        shifted = [coefficients[0] + 1] + coefficients[1:]
+        base_value = poly_eval(coefficients, point, q)
+        shifted_value = poly_eval(shifted, point, q)
+        assert shifted_value == (base_value + 1) % q
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=64))
+    def test_linial_palette_bound(self, palette, delta):
+        final = linial_final_palette(palette, delta)
+        assert final <= palette
+        assert final <= 9 * (delta + 2) ** 2 or final <= palette
+
+    @given(st.integers(min_value=2, max_value=10**6), st.integers(min_value=1, max_value=32))
+    def test_linial_schedule_primes_are_valid(self, palette, delta):
+        schedule, _ = linial_schedule(palette, delta)
+        for q, digits, before in schedule:
+            assert q > delta * (digits - 1)
+            assert q * q < before
+
+
+# --------------------------------------------------------------------------- #
+# Simulator invariants
+# --------------------------------------------------------------------------- #
+
+
+class TestSimulatorProperties:
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.text(max_size=5), st.none(), st.booleans()),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=3), children, max_size=3),
+            ),
+            max_leaves=10,
+        )
+    )
+    def test_payload_size_is_positive_and_additive_over_lists(self, payload):
+        size = payload_size_words(payload)
+        assert size >= 1
+        assert payload_size_words([payload, payload]) == 2 * size
+
+
+# --------------------------------------------------------------------------- #
+# Coloring invariants on random graphs
+# --------------------------------------------------------------------------- #
+
+
+class TestColoringProperties:
+    @SLOW
+    @given(random_edge_lists(max_nodes=10))
+    def test_delta_plus_one_pipeline_always_legal(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        pipeline, palette = delta_plus_one_pipeline(
+            n=network.num_nodes, degree_bound=max(1, network.max_degree), output_key="c"
+        )
+        result = Scheduler(network).run(pipeline)
+        colors = result.extract("c")
+        assert_legal_vertex_coloring(network, colors)
+        assert max_color(colors) <= palette
+
+    @SLOW
+    @given(random_edge_lists(max_nodes=10), st.integers(min_value=1, max_value=4))
+    def test_defective_pipeline_respects_defect_and_palette(self, data, defect):
+        n, edges = data
+        network = build_network(n, edges)
+        pipeline, palette = defective_coloring_pipeline(
+            n=network.num_nodes,
+            degree_bound=max(1, network.max_degree),
+            target_defect=defect,
+            output_key="d",
+        )
+        result = Scheduler(network).run(pipeline)
+        colors = result.extract("d")
+        assert coloring_defect(network, colors) <= defect
+        assert max_color(colors) <= palette
+
+    @SLOW
+    @given(random_edge_lists(max_nodes=9), st.integers(min_value=2, max_value=4))
+    def test_defective_color_procedure_defect_bound(self, data, p):
+        n, edges = data
+        network = build_network(n, edges)
+        line = line_graph_network(network)
+        if line.num_nodes == 0:
+            return
+        Lambda = max(1, line.max_degree)
+        if p > Lambda:
+            return
+        colors, info, _ = run_defective_color(line, b=1, p=p, c=2, Lambda=Lambda)
+        assert coloring_defect(line, colors) <= info.psi_defect_bound
+        assert set(colors.values()) <= set(range(1, p + 1))
+
+    @SLOW
+    @given(random_edge_lists(max_nodes=9))
+    def test_edge_coloring_always_legal(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        if network.num_edges == 0:
+            return
+        result = color_edges(network, quality="superlinear", route="direct")
+        assert_legal_edge_coloring(network, result.edge_colors)
+        assert result.colors_used <= result.palette

@@ -1,0 +1,122 @@
+"""Unit tests for the verification oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.exceptions import ColoringError
+from repro.local_model import Network
+from repro.verification.bounds import (
+    assert_defective_coloring,
+    theorem_3_7_defect_bound,
+    verify_legal_coloring_result,
+)
+from repro.verification.coloring import (
+    assert_legal_edge_coloring,
+    assert_legal_vertex_coloring,
+    coloring_defect,
+    edge_coloring_defect,
+    is_legal_edge_coloring,
+    is_legal_vertex_coloring,
+    max_color,
+    palette_size,
+)
+
+
+class TestVertexColoringOracles:
+    def test_legal_coloring_accepted(self, triangle):
+        colors = {node: index + 1 for index, node in enumerate(triangle.nodes())}
+        assert is_legal_vertex_coloring(triangle, colors)
+        assert_legal_vertex_coloring(triangle, colors)
+
+    def test_monochromatic_edge_rejected(self, triangle):
+        colors = {node: 1 for node in triangle.nodes()}
+        assert not is_legal_vertex_coloring(triangle, colors)
+        with pytest.raises(ColoringError):
+            assert_legal_vertex_coloring(triangle, colors)
+
+    def test_missing_vertex_rejected(self, triangle):
+        colors = {triangle.nodes()[0]: 1}
+        with pytest.raises(ColoringError):
+            is_legal_vertex_coloring(triangle, colors)
+
+    def test_defect_measurement(self):
+        path = graphs.path_graph(5)
+        alternating = {node: node % 2 + 1 for node in path.nodes()}
+        constant = {node: 1 for node in path.nodes()}
+        assert coloring_defect(path, alternating) == 0
+        assert coloring_defect(path, constant) == 2
+
+    def test_palette_helpers(self):
+        colors = {1: 3, 2: 3, 3: 7}
+        assert palette_size(colors) == 2
+        assert max_color(colors) == 7
+        assert max_color({}) == 0
+
+
+class TestEdgeColoringOracles:
+    def test_legal_edge_coloring_accepted(self, triangle):
+        edge_colors = {edge: index + 1 for index, edge in enumerate(triangle.edges())}
+        assert is_legal_edge_coloring(triangle, edge_colors)
+        assert_legal_edge_coloring(triangle, edge_colors)
+
+    def test_lookup_accepts_reversed_endpoints(self, triangle):
+        edge_colors = {(v, u): index + 1 for index, (u, v) in enumerate(triangle.edges())}
+        assert is_legal_edge_coloring(triangle, edge_colors)
+
+    def test_incident_same_color_rejected(self):
+        star = graphs.star_graph(3)
+        edge_colors = {edge: 1 for edge in star.edges()}
+        assert not is_legal_edge_coloring(star, edge_colors)
+        with pytest.raises(ColoringError):
+            assert_legal_edge_coloring(star, edge_colors)
+
+    def test_missing_edge_rejected(self, triangle):
+        edge_colors = {triangle.edges()[0]: 1}
+        with pytest.raises(ColoringError):
+            is_legal_edge_coloring(triangle, edge_colors)
+
+    def test_edge_defect_measurement(self):
+        star = graphs.star_graph(4)
+        same = {edge: 1 for edge in star.edges()}
+        distinct = {edge: index + 1 for index, edge in enumerate(star.edges())}
+        assert edge_coloring_defect(star, same) == 3
+        assert edge_coloring_defect(star, distinct) == 0
+
+    def test_disjoint_edges_may_share_colors(self):
+        network = Network.from_edges([(1, 2), (3, 4)])
+        edge_colors = {edge: 1 for edge in network.edges()}
+        assert is_legal_edge_coloring(network, edge_colors)
+
+
+class TestBoundCheckers:
+    def test_theorem_3_7_formula(self):
+        assert theorem_3_7_defect_bound(Lambda=32, b=2, p=4, c=2) == 2 * (4 + 8 + 1)
+        assert theorem_3_7_defect_bound(Lambda=10, b=1, p=10, c=3) == 3 * (1 + 1 + 1)
+
+    def test_assert_defective_coloring_accepts_valid(self, small_regular):
+        colors = {node: 1 + (small_regular.unique_id(node) % 3) for node in small_regular.nodes()}
+        defect = coloring_defect(small_regular, colors)
+        assert_defective_coloring(small_regular, colors, max_defect=defect, max_palette=3)
+
+    def test_assert_defective_coloring_rejects_excess_defect(self, small_regular):
+        colors = {node: 1 for node in small_regular.nodes()}
+        with pytest.raises(ColoringError):
+            assert_defective_coloring(small_regular, colors, max_defect=1, max_palette=1)
+
+    def test_assert_defective_coloring_rejects_excess_palette(self, triangle):
+        colors = {node: index + 1 for index, node in enumerate(triangle.nodes())}
+        with pytest.raises(ColoringError):
+            assert_defective_coloring(triangle, colors, max_defect=0, max_palette=2)
+
+    def test_assert_defective_coloring_rejects_nonpositive_colors(self, triangle):
+        colors = {node: 0 for node in triangle.nodes()}
+        with pytest.raises(ColoringError):
+            assert_defective_coloring(triangle, colors, max_defect=3, max_palette=3)
+
+    def test_verify_legal_coloring_result(self, triangle):
+        colors = {node: index + 1 for index, node in enumerate(triangle.nodes())}
+        verify_legal_coloring_result(triangle, colors, palette_bound=3)
+        with pytest.raises(ColoringError):
+            verify_legal_coloring_result(triangle, colors, palette_bound=2)
