@@ -1,0 +1,178 @@
+"""Batched round engine vs. reference scheduler, plus a cached parallel sweep.
+
+Two claims are demonstrated here (committed numbers in
+``benchmarks/results/engine_speedup.md``):
+
+1. **Speedup.**  On a 2000-node random regular graph, Procedure Legal-Color
+   (Theorem 4.8(2) parameters) runs >= 5x faster on the batched engine than
+   on the reference scheduler, while producing the *identical* coloring and
+   identical metrics (the equivalence suite locks this down for the whole
+   algorithm zoo; this benchmark re-checks it on the timed instance).
+2. **Sweep throughput.**  A 36-scenario sweep (degree x algorithm x seed)
+   shards across worker processes via ``ExperimentRunner`` and is served
+   entirely from the on-disk cache on the second pass.
+
+Run with::
+
+    REPRO_BENCH_RECORD=1 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_engine_speedup.py --benchmark-only -s
+
+``REPRO_BENCH_RECORD=1`` additionally rewrites
+``benchmarks/results/engine_speedup.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from common_bench import QUICK, bench_runner, print_section, run_once
+
+from repro import graphs
+from repro.analysis import format_table
+from repro.core import color_vertices
+from repro.experiments import GraphSpec, Scenario
+
+SPEEDUP_N = 400 if QUICK else 2000
+SPEEDUP_DEGREE = 32
+SPEEDUP_SEED = 3
+#: Neighborhood-independence bound passed to Procedure Legal-Color.
+SPEEDUP_C = 5
+
+SWEEP_DEGREES = (4, 6) if QUICK else (4, 6, 8, 12, 16, 22)
+SWEEP_SEEDS = (1, 2, 3)
+SWEEP_N = 32 if QUICK else 64
+
+
+def _timed_legal_color(network, engine: str):
+    started = time.perf_counter()
+    result = color_vertices(
+        network, c=SPEEDUP_C, quality="superlinear", engine=engine
+    )
+    return result, time.perf_counter() - started
+
+
+def _sweep_scenarios():
+    scenarios = []
+    for degree in SWEEP_DEGREES:
+        for seed in SWEEP_SEEDS:
+            spec = GraphSpec("random_regular", n=SWEEP_N, degree=degree, seed=seed)
+            scenarios.append(
+                Scenario.make(
+                    name=f"legal-d{degree}-s{seed}",
+                    graph=spec,
+                    algorithm="legal_coloring",
+                    params={"c": degree, "quality": "superlinear"},
+                )
+            )
+            scenarios.append(
+                Scenario.make(
+                    name=f"edge-d{degree}-s{seed}",
+                    graph=spec,
+                    algorithm="edge_coloring",
+                    params={"quality": "superlinear", "route": "direct"},
+                )
+            )
+    return scenarios
+
+
+def test_engine_speedup(benchmark):
+    network = graphs.random_regular(SPEEDUP_N, SPEEDUP_DEGREE, seed=SPEEDUP_SEED)
+
+    reference_result, reference_seconds = _timed_legal_color(network, "reference")
+    batched_result, batched_seconds = _timed_legal_color(network, "batched")
+
+    # Bit-identical outputs on the timed instance.
+    assert batched_result.colors == reference_result.colors
+    assert batched_result.metrics.summary() == reference_result.metrics.summary()
+
+    speedup = reference_seconds / max(batched_seconds, 1e-9)
+
+    print_section(
+        f"Batched engine vs. reference scheduler -- Procedure Legal-Color "
+        f"(n = {SPEEDUP_N}, Delta = {SPEEDUP_DEGREE})"
+    )
+    print(
+        format_table(
+            ["engine", "wall time (s)", "rounds", "messages", "palette"],
+            [
+                [
+                    "reference",
+                    round(reference_seconds, 3),
+                    reference_result.metrics.rounds,
+                    reference_result.metrics.messages,
+                    reference_result.palette,
+                ],
+                [
+                    "batched",
+                    round(batched_seconds, 3),
+                    batched_result.metrics.rounds,
+                    batched_result.metrics.messages,
+                    batched_result.palette,
+                ],
+            ],
+        )
+    )
+    print(f"\nSpeedup: {speedup:.2f}x (identical colorings and metrics).")
+
+    # The committed result records >= 5x at the full size; keep the in-test
+    # bound looser so a loaded CI box does not flake.
+    if not QUICK:
+        assert speedup >= 3.0, f"batched engine only {speedup:.2f}x faster"
+
+    # ------------------------------------------------------------------ #
+    # Parallel sweep with caching.
+    # ------------------------------------------------------------------ #
+    scenarios = _sweep_scenarios()
+    assert len(scenarios) >= 32 or QUICK
+
+    runner = bench_runner()
+    sweep_started = time.perf_counter()
+    first_pass = runner.run(scenarios)
+    first_seconds = time.perf_counter() - sweep_started
+
+    sweep_started = time.perf_counter()
+    second_pass = runner.run(scenarios)
+    second_seconds = time.perf_counter() - sweep_started
+
+    assert all(result.verified for result in first_pass)
+    assert all(result.cached for result in second_pass)
+    assert [r.coloring_digest for r in first_pass] == [
+        r.coloring_digest for r in second_pass
+    ]
+
+    fresh = sum(1 for result in first_pass if not result.cached)
+    print(
+        f"\nSweep: {len(scenarios)} scenarios, {fresh} executed fresh "
+        f"({first_seconds:.2f}s), second pass fully cached ({second_seconds:.3f}s)."
+    )
+
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        record = {
+            "workload": {
+                "algorithm": "legal_coloring (Theorem 4.8(2) parameters)",
+                "graph": f"random_regular(n={SPEEDUP_N}, degree={SPEEDUP_DEGREE}, seed={SPEEDUP_SEED})",
+                "c": SPEEDUP_C,
+            },
+            "reference_seconds": round(reference_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "speedup": round(speedup, 2),
+            "identical_outputs": True,
+            "sweep": {
+                "scenarios": len(scenarios),
+                "fresh_seconds": round(first_seconds, 3),
+                "cached_seconds": round(second_seconds, 4),
+            },
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        out = Path(__file__).parent / "results" / "engine_speedup.json"
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"\nRecorded results to {out}")
+
+    # Time the batched run once more under pytest-benchmark.
+    run_once(benchmark, lambda: _timed_legal_color(network, "batched"))

@@ -18,7 +18,14 @@ winning.
 
 from __future__ import annotations
 
-from common_bench import TABLE_DEGREES, print_section, regular_workload, run_once
+from common_bench import (
+    TABLE_DEGREES,
+    bench_runner,
+    print_section,
+    regular_workload,
+    run_once,
+    table_edge_scenarios,
+)
 
 from repro.analysis import (
     Series,
@@ -28,41 +35,49 @@ from repro.analysis import (
     rounds_new_superlinear,
     rounds_panconesi_rizzi,
 )
-from repro.baselines import panconesi_rizzi_edge_coloring
 from repro.core import color_edges
-from repro.verification import assert_legal_edge_coloring
+
+#: (label, experiment algorithm, params) for the three Table 1 columns.
+ALGORITHMS = (
+    ("new-fast", "edge_coloring", {"quality": "superlinear", "route": "direct"}),
+    ("new-linear", "edge_coloring", {"quality": "linear", "route": "direct"}),
+    ("baseline-pr", "panconesi_rizzi", {}),
+)
 
 
 def _sweep():
+    # One scenario per (degree, algorithm); the runner shards them across
+    # worker processes, verifies every coloring in-worker, and serves repeat
+    # invocations from the on-disk cache.
+    scenarios = table_edge_scenarios(ALGORITHMS)
+    results = {result.name: result for result in bench_runner().run(scenarios)}
+
     rows = []
     new_superlinear = Series("new O(log Delta)")
     new_linear = Series("new O(Delta^eps)")
     baseline_pr = Series("PR baseline")
 
     for degree in TABLE_DEGREES:
-        network = regular_workload(degree)
-        n = network.num_nodes
+        fast = results[f"new-fast-d{degree}"]
+        linear = results[f"new-linear-d{degree}"]
+        baseline = results[f"baseline-pr-d{degree}"]
+        n = fast.num_nodes
+        assert fast.verified and linear.verified and baseline.verified
 
-        fast = color_edges(network, quality="superlinear", route="direct")
-        linear = color_edges(network, quality="linear", route="direct")
-        baseline = panconesi_rizzi_edge_coloring(network)
-        for result in (fast, linear, baseline):
-            assert_legal_edge_coloring(network, result.edge_colors)
-
-        new_superlinear.add(degree, fast.metrics.rounds)
-        new_linear.add(degree, linear.metrics.rounds)
-        baseline_pr.add(degree, baseline.metrics.rounds)
+        new_superlinear.add(degree, fast.rounds)
+        new_linear.add(degree, linear.rounds)
+        baseline_pr.add(degree, baseline.rounds)
 
         rows.append(
             [
                 degree,
                 baseline.colors_used,
-                baseline.metrics.rounds,
+                baseline.rounds,
                 round(rounds_panconesi_rizzi(degree, n), 1),
                 linear.colors_used,
-                linear.metrics.rounds,
+                linear.rounds,
                 fast.colors_used,
-                fast.metrics.rounds,
+                fast.rounds,
                 round(rounds_new_superlinear(degree, n), 1),
                 round(rounds_be10_superlinear(degree, n), 1),
             ]
@@ -103,6 +118,11 @@ def test_table1_deterministic_comparison(benchmark):
     # moderate-to-large Delta (while using more colors than 2 Delta - 1).
     assert new_superlinear.ys[-1] < baseline_pr.ys[-1]
 
-    # Time one representative mid-sweep instance.
+    # Time one representative mid-sweep instance (on the batched engine).
     network = regular_workload(TABLE_DEGREES[len(TABLE_DEGREES) // 2])
-    run_once(benchmark, lambda: color_edges(network, quality="superlinear", route="direct"))
+    run_once(
+        benchmark,
+        lambda: color_edges(
+            network, quality="superlinear", route="direct", engine="batched"
+        ),
+    )

@@ -12,37 +12,56 @@ and (moderately) more rounds.
 
 from __future__ import annotations
 
-from common_bench import print_section, run_once
+from common_bench import QUICK, bench_runner, print_section, run_once
 
 from repro import graphs
 from repro.analysis import format_table
 from repro.core import tradeoff_color_vertices
+from repro.experiments import G_FUNCTIONS as G_REGISTRY
+from repro.experiments import GraphSpec, Scenario
 from repro.graphs.line_graph import line_graph_network
-from repro.verification import assert_legal_vertex_coloring
 
+#: (display label, name in the experiments g-function registry).
 G_FUNCTIONS = [
-    ("g = 2 (constant)", lambda d: 2.0),
-    ("g = Delta^0.5", lambda d: d**0.5),
-    ("g = Delta", lambda d: float(d)),
+    ("g = 2 (constant)", "constant2"),
+    ("g = Delta^0.5", "sqrt"),
+    ("g = Delta", "linear"),
 ]
+
+BASE_N, BASE_DEGREE, BASE_SEED = (24, 8, 61) if QUICK else (40, 12, 61)
 
 
 def _sweep():
-    base = graphs.random_regular(40, 12, seed=61)
-    line = line_graph_network(base)
-    delta = line.max_degree
+    # The workload is the line graph of a random regular graph; the runner
+    # builds it inside each worker from the picklable spec.
+    spec = GraphSpec(
+        "random_regular", n=BASE_N, degree=BASE_DEGREE, seed=BASE_SEED, line_graph=True
+    )
+    scenarios = [
+        Scenario.make(
+            name=f"tradeoff-{g_name}",
+            graph=spec,
+            algorithm="tradeoff",
+            params={"c": 2, "g": g_name},
+        )
+        for _, g_name in G_FUNCTIONS
+    ]
+    results = {result.name: result for result in bench_runner().run(scenarios)}
+
+    delta = next(iter(results.values())).max_degree
     rows = []
-    for label, g in G_FUNCTIONS:
-        result = tradeoff_color_vertices(line, c=2, g=g)
-        assert_legal_vertex_coloring(line, result.colors)
+    for label, g_name in G_FUNCTIONS:
+        result = results[f"tradeoff-{g_name}"]
+        assert result.verified
+        g_value = G_REGISTRY[g_name](delta)
         rows.append(
             [
                 label,
-                round(delta * delta / g(delta), 1),
+                round(delta * delta / g_value, 1),
                 result.split_palette,
                 result.palette,
-                len(set(result.colors.values())),
-                result.metrics.rounds,
+                result.colors_used,
+                result.rounds,
             ]
         )
     return delta, rows
@@ -73,6 +92,9 @@ def test_tradeoff_curve(benchmark):
     palettes = [row[3] for row in rows]
     assert palettes[0] >= palettes[-1]
 
-    base = graphs.random_regular(40, 12, seed=61)
+    base = graphs.random_regular(BASE_N, BASE_DEGREE, seed=BASE_SEED)
     line = line_graph_network(base)
-    run_once(benchmark, lambda: tradeoff_color_vertices(line, c=2, g=lambda d: d**0.5))
+    run_once(
+        benchmark,
+        lambda: tradeoff_color_vertices(line, c=2, g=lambda d: d**0.5, engine="batched"),
+    )

@@ -6,29 +6,84 @@ parameter, prints the reproduced rows with :func:`repro.analysis.format_table`,
 and wraps one representative instance in ``pytest-benchmark`` so that
 ``pytest benchmarks/ --benchmark-only`` both times the implementation and
 leaves the reproduced artifact in the captured output.
+
+The sweeps themselves run through :class:`repro.experiments.ExperimentRunner`:
+scenarios are sharded across worker processes and their results memoized in an
+on-disk cache (location: ``$REPRO_EXPERIMENT_CACHE``, default under the system
+temp directory -- shared with ``examples/scaling_study.py``), so re-running a
+benchmark after an unrelated change is nearly free.  Set
+``REPRO_BENCH_QUICK=1`` for the CI smoke configuration (smaller graphs,
+shorter sweeps) and ``REPRO_BENCH_WORKERS`` to pin the worker count (``0``
+forces serial in-process execution).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import os
+from typing import Callable, Optional, Sequence
 
-from repro import graphs
+from repro.experiments import ExperimentRunner, GraphSpec, Scenario, default_cache_dir
 from repro.local_model import Network
+
+#: Quick mode: used by CI to smoke-test the harnesses in seconds.
+QUICK: bool = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 #: The Delta sweep used by the Table 1 / Table 2 reproductions.  The paper's
 #: ranges are expressed relative to n (log* n, log n, polylog n); at the
 #: laptop scales below they translate into small-to-moderate degrees.
-TABLE_DEGREES: Sequence[int] = (4, 6, 8, 12, 16, 22)
+TABLE_DEGREES: Sequence[int] = (4, 6) if QUICK else (4, 6, 8, 12, 16, 22)
 
 #: Number of vertices of the Table 1 / Table 2 workload graphs.
-TABLE_NUM_NODES: int = 48
+TABLE_NUM_NODES: int = 32 if QUICK else 48
 
 
-def regular_workload(degree: int, n: int = TABLE_NUM_NODES, seed: int = 0) -> Network:
+def bench_runner(max_workers: Optional[int] = None) -> ExperimentRunner:
+    """The shared :class:`ExperimentRunner` used by the benchmark sweeps."""
+    configured = os.environ.get("REPRO_BENCH_WORKERS")
+    if max_workers is None and configured is not None:
+        max_workers = int(configured)
+    return ExperimentRunner(cache_dir=default_cache_dir(), max_workers=max_workers)
+
+
+def regular_workload_spec(
+    degree: int, n: int = TABLE_NUM_NODES, seed: int = 0
+) -> GraphSpec:
     """The Table 1 / Table 2 workload: a random ``degree``-regular graph."""
     if (n * degree) % 2 != 0:
         n += 1
-    return graphs.random_regular(n, degree, seed=seed + degree)
+    return GraphSpec("random_regular", n=n, degree=degree, seed=seed + degree)
+
+
+def regular_workload(degree: int, n: int = TABLE_NUM_NODES, seed: int = 0) -> Network:
+    """The built network for :func:`regular_workload_spec` (same graph)."""
+    return regular_workload_spec(degree, n=n, seed=seed).build()
+
+
+def table_edge_scenarios(
+    algorithms: Sequence[tuple],
+    degrees: Sequence[int] = TABLE_DEGREES,
+    n: int = TABLE_NUM_NODES,
+    seed: int = 0,
+) -> list:
+    """Scenarios for a Table 1 / Table 2 style sweep.
+
+    ``algorithms`` is a sequence of ``(label, algorithm_name, params)``
+    triples; one scenario is produced per (degree, algorithm) pair, named
+    ``"{label}-d{degree}"``.
+    """
+    scenarios = []
+    for degree in degrees:
+        spec = regular_workload_spec(degree, n=n, seed=seed)
+        for label, algorithm, params in algorithms:
+            scenarios.append(
+                Scenario.make(
+                    name=f"{label}-d{degree}",
+                    graph=spec,
+                    algorithm=algorithm,
+                    params=params,
+                )
+            )
+    return scenarios
 
 
 def run_once(benchmark, func: Callable[[], object]):

@@ -9,7 +9,13 @@ Delta, the measured rounds and colors of
 * the Panconesi-Rizzi-style (2 Delta - 1) baseline,
 
 plus the paper's analytic curves -- the reproducible essence of Table 1.
-A larger sweep (and the crossover analysis) is produced by
+
+The sweep runs through :class:`repro.experiments.ExperimentRunner`: every
+(degree, algorithm) pair becomes a picklable scenario, the scenarios are
+sharded across worker processes (each on the batched round engine, with the
+coloring verified in-worker), and the results are memoized in an on-disk
+cache -- re-running this script is nearly instantaneous.  A larger sweep (and
+the crossover analysis) is produced by
 ``pytest benchmarks/bench_table1_deterministic_comparison.py --benchmark-only -s``.
 
 Run with:  python examples/scaling_study.py
@@ -17,33 +23,59 @@ Run with:  python examples/scaling_study.py
 
 from __future__ import annotations
 
-from repro import color_edges, graphs
 from repro.analysis import format_table, rounds_new_superlinear, rounds_panconesi_rizzi
-from repro.baselines import panconesi_rizzi_edge_coloring
-from repro.verification import assert_legal_edge_coloring
+from repro.experiments import ExperimentRunner, GraphSpec, Scenario, default_cache_dir
+
+#: (row label, experiment algorithm, parameters) -- the three Table 1 columns.
+ALGORITHMS = (
+    ("fast", "edge_coloring", {"quality": "superlinear", "route": "direct"}),
+    ("linear", "edge_coloring", {"quality": "linear", "route": "direct"}),
+    ("baseline", "panconesi_rizzi", {}),
+)
+
+DEGREES = (4, 8, 12, 16)
+N = 48
+
+
+def build_scenarios() -> list:
+    """One scenario per (degree, algorithm), on the batched engine."""
+    scenarios = []
+    for degree in DEGREES:
+        spec = GraphSpec("random_regular", n=N, degree=degree, seed=degree)
+        for label, algorithm, params in ALGORITHMS:
+            scenarios.append(
+                Scenario.make(
+                    name=f"{label}-d{degree}",
+                    graph=spec,
+                    algorithm=algorithm,
+                    params=params,
+                )
+            )
+    return scenarios
 
 
 def main() -> None:
-    n = 48
+    runner = ExperimentRunner(cache_dir=default_cache_dir())
+    results = {result.name: result for result in runner.run(build_scenarios())}
+
     rows = []
-    for degree in (4, 8, 12, 16):
-        network = graphs.random_regular(n, degree, seed=degree)
-        fast = color_edges(network, quality="superlinear", route="direct")
-        linear = color_edges(network, quality="linear", route="direct")
-        baseline = panconesi_rizzi_edge_coloring(network)
-        for result in (fast, linear, baseline):
-            assert_legal_edge_coloring(network, result.edge_colors)
+    for degree in DEGREES:
+        fast = results[f"fast-d{degree}"]
+        linear = results[f"linear-d{degree}"]
+        baseline = results[f"baseline-d{degree}"]
+        # Every worker verified its coloring before reporting.
+        assert fast.verified and linear.verified and baseline.verified
         rows.append(
             [
                 degree,
-                fast.metrics.rounds,
+                fast.rounds,
                 fast.colors_used,
-                linear.metrics.rounds,
+                linear.rounds,
                 linear.colors_used,
-                baseline.metrics.rounds,
+                baseline.rounds,
                 baseline.colors_used,
-                round(rounds_new_superlinear(degree, n), 1),
-                round(rounds_panconesi_rizzi(degree, n), 1),
+                round(rounds_new_superlinear(degree, N), 1),
+                round(rounds_panconesi_rizzi(degree, N), 1),
             ]
         )
 
@@ -61,8 +93,13 @@ def main() -> None:
                 "PR analytic",
             ],
             rows,
-            title=f"Rounds vs. Delta on random regular graphs (n = {n})",
+            title=f"Rounds vs. Delta on random regular graphs (n = {N})",
         )
+    )
+    cached = sum(1 for result in results.values() if result.cached)
+    print(
+        f"\n({len(results)} scenarios via ExperimentRunner; {cached} served from "
+        f"the cache at {default_cache_dir()}.)"
     )
     print(
         "\nAs Delta grows the baseline's rounds grow roughly linearly with Delta,"

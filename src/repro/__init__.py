@@ -18,7 +18,16 @@ Quickstart::
     print(result.colors_used, "colors in", result.metrics.rounds, "rounds")
 """
 
-from repro import analysis, baselines, core, graphs, local_model, primitives, verification
+from repro import (
+    analysis,
+    baselines,
+    core,
+    experiments,
+    graphs,
+    local_model,
+    primitives,
+    verification,
+)
 from repro.core import (
     EdgeColoringResult,
     LegalColoringResult,
@@ -38,11 +47,21 @@ from repro.exceptions import (
     RoundLimitExceeded,
     SimulationError,
 )
-from repro.local_model import Network, RunMetrics, Scheduler
+from repro.local_model import (
+    BatchedScheduler,
+    Network,
+    RunMetrics,
+    Scheduler,
+    available_engines,
+    make_scheduler,
+    set_default_engine,
+    use_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchedScheduler",
     "ColoringError",
     "EdgeColoringResult",
     "GraphPropertyError",
@@ -57,16 +76,21 @@ __all__ = [
     "SimulationError",
     "__version__",
     "analysis",
+    "available_engines",
     "baselines",
     "color_edges",
     "color_vertices",
     "core",
+    "experiments",
     "graphs",
     "local_model",
+    "make_scheduler",
     "primitives",
     "randomized_color_vertices",
     "run_defective_color",
     "run_legal_coloring",
+    "set_default_engine",
     "tradeoff_color_vertices",
+    "use_engine",
     "verification",
 ]

@@ -9,14 +9,18 @@ as a sanity yardstick in the benchmark reports.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.local_model.network import Network
 from repro.graphs.line_graph import build_line_graph_network
 from repro.core.edge_coloring import EdgeColoringResult, _simulation_metrics
-from repro.local_model.scheduler import Scheduler
+from repro.local_model.engine import make_scheduler
 from repro.primitives.color_reduction import delta_plus_one_pipeline
 
 
-def greedy_reduction_edge_coloring(network: Network) -> EdgeColoringResult:
+def greedy_reduction_edge_coloring(
+    network: Network, engine: Optional[str] = None
+) -> EdgeColoringResult:
     """A legal ``(2 Delta - 1)``-edge-coloring via one-class-per-round reduction."""
     line_network, _ = build_line_graph_network(network)
     delta_line = max(1, line_network.max_degree)
@@ -26,7 +30,7 @@ def greedy_reduction_edge_coloring(network: Network) -> EdgeColoringResult:
         output_key="_greedy_color",
         use_kuhn_wattenhofer=False,
     )
-    result = Scheduler(line_network).run(pipeline)
+    result = make_scheduler(line_network, engine=engine).run(pipeline)
     metrics = _simulation_metrics(network, result.metrics)
     return EdgeColoringResult(
         edge_colors=result.extract("_greedy_color"),

@@ -15,18 +15,18 @@ reproducible and still independent across vertices.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Hashable, Mapping, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
-from repro.local_model.algorithm import LocalView, SynchronousPhase
+from repro.local_model.algorithm import BroadcastPhase, LocalView
+from repro.local_model.engine import make_scheduler
 from repro.local_model.network import Network
-from repro.local_model.scheduler import Scheduler
 from repro.graphs.line_graph import build_line_graph_network
 from repro.core.edge_coloring import EdgeColoringResult, _simulation_metrics
 from repro.local_model.metrics import RunMetrics
 
 
-class LubyRandomColoringPhase(SynchronousPhase):
+class LubyRandomColoringPhase(BroadcastPhase):
     """One phase implementing the trial-and-keep randomized coloring."""
 
     def __init__(
@@ -43,14 +43,10 @@ class LubyRandomColoringPhase(SynchronousPhase):
         state["_luby_final"] = None
         state["_luby_taken"] = set()
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         if state["_luby_final"] is not None:
             # Announce the final color one last time, then halt.
-            return {
-                neighbor: {"final": state["_luby_final"]} for neighbor in view.neighbors
-            }
+            return {"final": state["_luby_final"]}
         available = [
             color
             for color in range(1, self.palette + 1)
@@ -58,10 +54,7 @@ class LubyRandomColoringPhase(SynchronousPhase):
         ]
         rng = random.Random(f"{self.seed}:{view.unique_id}:{round_index}")
         state["_luby_candidate"] = rng.choice(available) if available else None
-        return {
-            neighbor: {"candidate": state["_luby_candidate"]}
-            for neighbor in view.neighbors
-        }
+        return {"candidate": state["_luby_candidate"]}
 
     def receive(
         self,
@@ -92,25 +85,31 @@ class LubyRandomColoringPhase(SynchronousPhase):
 
 
 def luby_vertex_coloring(
-    network: Network, palette: int | None = None, seed: int = 0
+    network: Network,
+    palette: int | None = None,
+    seed: int = 0,
+    engine: Optional[str] = None,
 ) -> Tuple[Dict[Hashable, int], RunMetrics]:
     """Randomized ``(Delta + 1)``-vertex-coloring; returns (colors, metrics)."""
     if palette is None:
         palette = network.max_degree + 1
     phase = LubyRandomColoringPhase(palette=palette, seed=seed)
-    result = Scheduler(network).run(phase)
+    result = make_scheduler(network, engine=engine).run(phase)
     return result.extract(phase.output_key), result.metrics
 
 
 def luby_edge_coloring(
-    network: Network, palette: int | None = None, seed: int = 0
+    network: Network,
+    palette: int | None = None,
+    seed: int = 0,
+    engine: Optional[str] = None,
 ) -> EdgeColoringResult:
     """Randomized ``(2 Delta - 1)``-edge-coloring via the line graph."""
     line_network, _ = build_line_graph_network(network)
     if palette is None:
         palette = max(1, line_network.max_degree + 1)
     phase = LubyRandomColoringPhase(palette=palette, seed=seed)
-    result = Scheduler(line_network).run(phase)
+    result = make_scheduler(line_network, engine=engine).run(phase)
     metrics = _simulation_metrics(network, result.metrics)
     return EdgeColoringResult(
         edge_colors=result.extract(phase.output_key),

@@ -18,14 +18,18 @@ substitution is recorded in DESIGN.md.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.local_model.network import Network
 from repro.graphs.line_graph import build_line_graph_network
 from repro.core.edge_coloring import EdgeColoringResult, _simulation_metrics
-from repro.local_model.scheduler import Scheduler
+from repro.local_model.engine import make_scheduler
 from repro.primitives.color_reduction import delta_plus_one_pipeline
 
 
-def panconesi_rizzi_edge_coloring(network: Network) -> EdgeColoringResult:
+def panconesi_rizzi_edge_coloring(
+    network: Network, engine: Optional[str] = None
+) -> EdgeColoringResult:
     """A legal ``(2 Delta - 1)``-edge-coloring of ``network``.
 
     Returns an :class:`~repro.core.edge_coloring.EdgeColoringResult` whose
@@ -40,7 +44,7 @@ def panconesi_rizzi_edge_coloring(network: Network) -> EdgeColoringResult:
         output_key="_pr_color",
         use_kuhn_wattenhofer=True,
     )
-    result = Scheduler(line_network).run(pipeline)
+    result = make_scheduler(line_network, engine=engine).run(pipeline)
     metrics = _simulation_metrics(network, result.metrics)
     return EdgeColoringResult(
         edge_colors=result.extract("_pr_color"),

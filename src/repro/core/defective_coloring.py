@@ -30,10 +30,10 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
-from repro.local_model.algorithm import LocalView, PhasePipeline, SynchronousPhase
+from repro.local_model.algorithm import SILENT, BroadcastPhase, LocalView, PhasePipeline
+from repro.local_model.engine import make_scheduler
 from repro.local_model.metrics import RunMetrics
 from repro.local_model.network import Network
-from repro.local_model.scheduler import Scheduler
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
 from repro.primitives.kuhn_defective_edge import KuhnDefectiveEdgeColoringPhase
 from repro.primitives.numbers import ceil_div
@@ -66,7 +66,7 @@ class DefectiveColorInfo:
     output_key: str
 
 
-class PsiSelectionPhase(SynchronousPhase):
+class PsiSelectionPhase(BroadcastPhase):
     """The re-coloring loop of Algorithm 1 (lines 2-10).
 
     Every vertex first exchanges its ``phi``-color with its neighbors (one
@@ -100,19 +100,13 @@ class PsiSelectionPhase(SynchronousPhase):
         state["_psi_waiting"] = None  # set of lower-phi neighbors not yet heard from
         state["_psi_counts"] = [0] * self.p
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         if round_index == 1:
-            return {
-                neighbor: {"phi": state[self.phi_key]} for neighbor in view.neighbors
-            }
+            return {"phi": state[self.phi_key]}
         if state["_psi_selected"] is not None and not state.get("_psi_announced"):
             state["_psi_announced"] = True
-            return {
-                neighbor: {"psi": state["_psi_selected"]} for neighbor in view.neighbors
-            }
-        return {}
+            return {"psi": state["_psi_selected"]}
+        return SILENT
 
     def receive(
         self,
@@ -262,17 +256,20 @@ def run_defective_color(
     c: int,
     Lambda: Optional[int] = None,
     mode: str = "vertex",
+    engine: Optional[str] = None,
 ) -> Tuple[Dict[Hashable, int], DefectiveColorInfo, RunMetrics]:
     """Convenience wrapper: run Procedure Defective-Color on a whole network.
 
     Returns the ``psi``-coloring (a mapping from node to a color in
     ``{1, ..., p}``), the static guarantees, and the measured metrics.
+    ``engine`` selects the execution path (see
+    :mod:`repro.local_model.engine`).
     """
     if Lambda is None:
         Lambda = max(1, network.max_degree)
     pipeline, info = defective_color_pipeline(
         n=network.num_nodes, b=b, p=p, Lambda=Lambda, c=c, mode=mode
     )
-    result = Scheduler(network).run(pipeline)
+    result = make_scheduler(network, engine=engine).run(pipeline)
     colors = result.extract(info.output_key)
     return colors, info, result.metrics

@@ -112,6 +112,7 @@ def color_edges(
     route: str = "direct",
     parameters: Optional[LegalColorParameters] = None,
     use_auxiliary_coloring: bool = True,
+    engine: Optional[str] = None,
 ) -> EdgeColoringResult:
     """Distributed edge coloring of a general graph (Theorems 5.3 / 5.5).
 
@@ -134,6 +135,9 @@ def color_edges(
         Explicit Legal-Color parameters, overriding the ``quality`` preset.
     use_auxiliary_coloring:
         Apply the Section 4.2 auxiliary-coloring improvement.
+    engine:
+        Execution engine (``"reference"`` / ``"batched"`` / ``None`` for the
+        process default; see :mod:`repro.local_model.engine`).
 
     Returns
     -------
@@ -153,6 +157,7 @@ def color_edges(
         c=LINE_GRAPH_INDEPENDENCE,
         edge_mode=(route == "direct"),
         use_auxiliary_coloring=use_auxiliary_coloring,
+        engine=engine,
     )
 
     if route == "simulation":

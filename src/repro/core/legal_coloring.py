@@ -34,9 +34,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.engine import make_scheduler
 from repro.local_model.metrics import RunMetrics
 from repro.local_model.network import Network
-from repro.local_model.scheduler import Scheduler
 from repro.core.defective_coloring import defective_color_pipeline
 from repro.core.parameters import (
     LegalColorParameters,
@@ -127,6 +127,7 @@ def run_legal_coloring(
     degree_bound: Optional[int] = None,
     edge_mode: bool = False,
     use_auxiliary_coloring: bool = True,
+    engine: Optional[str] = None,
 ) -> LegalColoringResult:
     """Run Procedure Legal-Color on ``network``.
 
@@ -151,6 +152,10 @@ def run_legal_coloring(
     use_auxiliary_coloring:
         Apply the Section 4.2 improvement (compute the auxiliary
         ``O(Delta^2)``-coloring ``rho`` once and reuse it at every level).
+    engine:
+        Execution engine: ``"reference"`` (the message-at-a-time scheduler),
+        ``"batched"`` (the flat-array engine), or ``None`` for the process
+        default (see :mod:`repro.local_model.engine`).
 
     Returns
     -------
@@ -189,7 +194,9 @@ def run_legal_coloring(
             initial_palette=network.num_nodes,
             output_key="_aux_rho",
         )
-        aux_result = Scheduler(network).run(aux_phase, initial_states=states)
+        aux_result = make_scheduler(network, engine=engine).run(
+            aux_phase, initial_states=states
+        )
         states = aux_result.states
         metrics.merge(aux_result.metrics)
         auxiliary_key = "_aux_rho"
@@ -222,7 +229,9 @@ def run_legal_coloring(
             class_key="_path",
             output_key=psi_key,
         )
-        result = Scheduler(filtered).run(pipeline, initial_states=states)
+        result = make_scheduler(filtered, engine=engine).run(
+            pipeline, initial_states=states
+        )
         states = result.states
         metrics.merge(result.metrics)
 
@@ -265,7 +274,7 @@ def run_legal_coloring(
         target=bottom_target,
     )
     if network.num_nodes > 0:
-        bottom_result = Scheduler(bottom_filtered).run(
+        bottom_result = make_scheduler(bottom_filtered, engine=engine).run(
             bottom_pipeline, initial_states=states
         )
         states = bottom_result.states
@@ -305,6 +314,7 @@ def color_vertices(
     epsilon: float = 0.75,
     edge_mode: bool = False,
     use_auxiliary_coloring: bool = True,
+    engine: Optional[str] = None,
 ) -> LegalColoringResult:
     """High-level entry point for Theorem 4.8.
 
@@ -340,4 +350,5 @@ def color_vertices(
         c=c,
         edge_mode=edge_mode,
         use_auxiliary_coloring=use_auxiliary_coloring,
+        engine=engine,
     )

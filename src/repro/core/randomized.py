@@ -66,6 +66,7 @@ def randomized_color_vertices(
     c: int,
     seed: int = 0,
     parameters: Optional[LegalColorParameters] = None,
+    engine: Optional[str] = None,
 ) -> RandomizedColoringResult:
     """Randomized ``O(Delta * min{Delta, log n}^eta)``-coloring (Theorem 6.1).
 
@@ -118,7 +119,7 @@ def randomized_color_vertices(
     class_delta = max(1, class_network.max_degree)
     params = parameters or params_for_few_rounds(class_delta, c)
     per_class: LegalColoringResult = run_legal_coloring(
-        class_network, params, c=c, use_auxiliary_coloring=True
+        class_network, params, c=c, use_auxiliary_coloring=True, engine=engine
     )
     metrics.merge(per_class.metrics)
 

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.engine import make_scheduler
 from repro.local_model.metrics import RunMetrics
 from repro.local_model.network import Network
-from repro.local_model.scheduler import Scheduler
 from repro.core.legal_coloring import LegalColoringResult, run_legal_coloring
 from repro.core.parameters import LegalColorParameters, params_for_few_rounds
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
@@ -58,6 +58,7 @@ def tradeoff_color_vertices(
     g: Callable[[int], float],
     eta: float = 0.5,
     parameters: Optional[LegalColorParameters] = None,
+    engine: Optional[str] = None,
 ) -> TradeoffColoringResult:
     """Corollary 6.3: an ``O(Delta^2 / g(Delta))``-coloring of ``network``.
 
@@ -96,7 +97,7 @@ def tradeoff_color_vertices(
             target_defect=target_defect,
             output_key="_tradeoff_split",
         )
-        result = Scheduler(network).run(pipeline)
+        result = make_scheduler(network, engine=engine).run(pipeline)
         metrics.merge(result.metrics)
         assignment = result.extract("_tradeoff_split")
         class_network = network.filtered_by_edge(
@@ -112,7 +113,7 @@ def tradeoff_color_vertices(
     class_delta = max(1, class_network.max_degree)
     params = parameters or params_for_few_rounds(class_delta, c)
     per_class: LegalColoringResult = run_legal_coloring(
-        class_network, params, c=c, use_auxiliary_coloring=True
+        class_network, params, c=c, use_auxiliary_coloring=True, engine=engine
     )
     metrics.merge(per_class.metrics)
 

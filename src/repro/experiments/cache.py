@@ -1,0 +1,105 @@
+"""On-disk result cache for experiment scenarios.
+
+Layout (documented in the README):
+
+.. code-block:: text
+
+    <cache_dir>/
+        v1/                      # bumped when the payload format changes
+            ab/                  # first two hex digits of the cache token
+                ab3f...e1.json   # one file per scenario result
+
+Each file holds ``{"key": <scenario key>, "payload": <result payload>}``; the
+``key`` is stored alongside the payload so cache entries are self-describing
+and collisions (which would require a SHA-256 break) are detectable.  Writes
+go through a temporary file followed by :func:`os.replace`, so concurrent
+writers -- e.g. parallel benchmark workers sharing one cache -- can never
+leave a torn file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Bump to invalidate every existing cache entry on a payload format change.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the shared default cache location.
+CACHE_ENV_VAR = "REPRO_EXPERIMENT_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The shared default cache location.
+
+    ``$REPRO_EXPERIMENT_CACHE`` if set, otherwise a well-known directory
+    under the system temp dir -- the single location used by the benchmark
+    harnesses and the examples, so identical scenarios are computed once.
+    """
+    configured = os.environ.get(CACHE_ENV_VAR)
+    if configured:
+        return Path(configured)
+    return Path(tempfile.gettempdir()) / "repro-experiments-cache"
+
+
+class ResultCache:
+    """A content-addressed JSON store under ``root``."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root) / f"v{CACHE_VERSION}"
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, token: str) -> Path:
+        return self.root / token[:2] / f"{token}.json"
+
+    def get(self, token: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``token``, or ``None`` on a miss.
+
+        Unreadable entries (corrupt JSON, permission problems in a shared
+        cache directory) count as misses rather than crashing the sweep.
+        """
+        path = self._path(token)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, token: str, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
+        """Atomically store ``payload`` (with its self-describing ``key``).
+
+        Best-effort: an unwritable cache (e.g. a shared directory owned by
+        another user) degrades to not caching instead of failing the sweep.
+        """
+        path = self._path(token)
+        entry = {"key": key, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=f".{token[:8]}-", suffix=".tmp", dir=path.parent
+            )
+        except OSError:
+            return
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException as error:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            if not isinstance(error, OSError):
+                raise
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

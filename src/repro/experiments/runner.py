@@ -1,0 +1,165 @@
+"""The parallel, caching experiment runner.
+
+:class:`ExperimentRunner` takes a list of :class:`~repro.experiments.scenarios.Scenario`
+objects and produces one :class:`ScenarioResult` per scenario, in input order:
+
+1. every scenario is first looked up in the on-disk cache (if one is
+   configured) by its SHA-256 cache token;
+2. the misses are sharded across a ``concurrent.futures.ProcessPoolExecutor``
+   (scenarios are plain picklable data; the worker rebuilds the graph from
+   its :class:`~repro.experiments.scenarios.GraphSpec` and runs the named
+   algorithm on the named engine);
+3. fresh results are written back to the cache atomically, so interrupted or
+   concurrent sweeps never corrupt it.
+
+Duplicate scenarios (same cache token) are executed only once per ``run``
+call.  Set ``max_workers=0`` to force serial in-process execution -- useful
+under hypothesis or in debuggers.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.scenarios import ALGORITHMS, Scenario
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Execute one scenario and return its JSON-safe result payload.
+
+    This is the worker entry point (module-level so it pickles); it is also
+    called directly for serial execution and cache backfills.
+    """
+    try:
+        runner = ALGORITHMS[scenario.algorithm]
+    except KeyError:
+        from repro.exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"unknown algorithm {scenario.algorithm!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    started = time.perf_counter()
+    network = scenario.graph.build()
+    payload = runner(
+        network,
+        scenario.params_dict,
+        scenario.engine,
+        scenario.capture_colors,
+    )
+    payload["wall_time"] = time.perf_counter() - started
+    payload["num_nodes"] = network.num_nodes
+    payload["num_edges"] = network.num_edges
+    payload["max_degree"] = network.max_degree
+    return payload
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's outcome.
+
+    ``payload`` holds the JSON-safe result produced by the algorithm runner
+    (metrics, palette, colors_used, coloring digest, wall time, ...);
+    ``cached`` tells whether it was served from the on-disk cache.
+    """
+
+    scenario: Scenario
+    payload: Dict[str, Any]
+    cached: bool
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.payload[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    @property
+    def coloring(self) -> Dict[Hashable, int]:
+        """The captured coloring (requires ``capture_colors=True``)."""
+        encoded = self.payload.get("coloring")
+        if encoded is None:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} did not capture its coloring; "
+                "construct it with capture_colors=True"
+            )
+        return {ast.literal_eval(node): color for node, color in encoded}
+
+
+class ExperimentRunner:
+    """Shard scenarios across processes, with on-disk result caching.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the result cache (see :mod:`repro.experiments.cache`).
+        ``None`` disables caching.
+    max_workers:
+        Worker process count.  ``None`` uses ``os.cpu_count()`` (capped by
+        the number of scenarios); ``0`` or ``1`` runs serially in-process.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+
+    def run(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+        """Run every scenario (cache-first, then in parallel), in input order."""
+        scenarios = list(scenarios)
+        tokens = [scenario.cache_token() for scenario in scenarios]
+
+        payloads: Dict[str, Dict[str, Any]] = {}
+        cached_tokens = set()
+        if self.cache is not None:
+            for scenario, token in zip(scenarios, tokens):
+                if token in payloads:
+                    continue
+                hit = self.cache.get(token)
+                if hit is not None:
+                    payloads[token] = hit
+                    cached_tokens.add(token)
+
+        pending: List[int] = []
+        pending_tokens = set()
+        for index, token in enumerate(tokens):
+            if token not in payloads and token not in pending_tokens:
+                pending.append(index)
+                pending_tokens.add(token)
+
+        if pending:
+            workers = self.max_workers
+            if workers is None:
+                workers = min(len(pending), os.cpu_count() or 1)
+            if workers and workers > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(
+                        pool.map(run_scenario, [scenarios[i] for i in pending])
+                    )
+            else:
+                fresh = [run_scenario(scenarios[i]) for i in pending]
+            for index, payload in zip(pending, fresh):
+                token = tokens[index]
+                payloads[token] = payload
+                if self.cache is not None:
+                    self.cache.put(token, scenarios[index].key(), payload)
+
+        return [
+            ScenarioResult(
+                scenario=scenario,
+                payload=payloads[token],
+                cached=token in cached_tokens,
+            )
+            for scenario, token in zip(scenarios, tokens)
+        ]

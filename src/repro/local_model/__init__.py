@@ -13,19 +13,43 @@ The main entry points are:
   protocol abstraction (one phase of an algorithm),
 * :class:`~repro.local_model.scheduler.Scheduler` -- executes phases round by
   round and accumulates :class:`~repro.local_model.metrics.RunMetrics`,
+* :class:`~repro.local_model.batched.BatchedScheduler` -- the batched round
+  engine, a drop-in replacement producing bit-identical results over a flat
+  CSR representation (select either via
+  :func:`~repro.local_model.engine.make_scheduler` / ``engine=`` arguments),
 * :func:`~repro.local_model.line_graph_sim.simulate_on_line_graph` -- the
   Lemma 5.2 simulation of an algorithm for ``L(G)`` on the network ``G``.
 """
 
-from repro.local_model.algorithm import LocalView, PhasePipeline, SynchronousPhase
+from repro.local_model.algorithm import (
+    SILENT,
+    BroadcastPhase,
+    LocalView,
+    PhasePipeline,
+    SynchronousPhase,
+)
+from repro.local_model.batched import BatchedScheduler
+from repro.local_model.engine import (
+    available_engines,
+    default_engine,
+    make_scheduler,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.local_model.fast_network import FastNetwork, fast_view
 from repro.local_model.messages import Message, payload_size_words
 from repro.local_model.metrics import RunMetrics
-from repro.local_model.network import Network
+from repro.local_model.network import Network, node_sort_key
 from repro.local_model.node import Node
 from repro.local_model.scheduler import PhaseResult, Scheduler
 from repro.local_model.line_graph_sim import LineGraphSimulationResult, simulate_on_line_graph
 
 __all__ = [
+    "SILENT",
+    "BatchedScheduler",
+    "BroadcastPhase",
+    "FastNetwork",
     "LineGraphSimulationResult",
     "LocalView",
     "Message",
@@ -36,6 +60,14 @@ __all__ = [
     "RunMetrics",
     "Scheduler",
     "SynchronousPhase",
+    "available_engines",
+    "default_engine",
+    "fast_view",
+    "make_scheduler",
+    "node_sort_key",
     "payload_size_words",
+    "resolve_engine",
+    "set_default_engine",
     "simulate_on_line_graph",
+    "use_engine",
 ]

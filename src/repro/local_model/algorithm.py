@@ -108,6 +108,58 @@ class SynchronousPhase(abc.ABC):
         return max(16, 4 * n + 16)
 
 
+class _SilentSentinel:
+    """Sentinel returned by :meth:`BroadcastPhase.broadcast` to stay silent."""
+
+    _instance: Optional["_SilentSentinel"] = None
+
+    def __new__(cls) -> "_SilentSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "SILENT"
+
+
+#: Return this from :meth:`BroadcastPhase.broadcast` to send nothing this round.
+SILENT = _SilentSentinel()
+
+
+class BroadcastPhase(SynchronousPhase):
+    """A phase that sends the *same* payload to every neighbor each round.
+
+    Almost every routine in this package (Linial recoloring, color reduction,
+    the defective polynomial steps, the ``psi``-selection loop) announces one
+    value -- typically the node's current color -- to all neighbors at once.
+    Declaring that structure lets the batched scheduler skip the per-neighbor
+    outbox dictionaries entirely: the payload is built once, its size is
+    charged once per neighbor arithmetically, and delivery writes straight
+    into the neighbors' inboxes.  The reference scheduler keeps using
+    :meth:`send`, which is derived from :meth:`broadcast` here, so both
+    execution paths run the exact same per-node logic.
+
+    Subclasses implement :meth:`broadcast` instead of :meth:`send` and return
+    :data:`SILENT` to stay quiet for a round.  The payload must be treated as
+    immutable by receivers -- the same object is delivered to every neighbor.
+    """
+
+    #: Marker the batched scheduler checks to take the broadcast fast path.
+    supports_broadcast: bool = True
+
+    @abc.abstractmethod
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
+        """Return this round's payload for all neighbors, or :data:`SILENT`."""
+
+    def send(
+        self, view: LocalView, state: Dict[str, Any], round_index: int
+    ) -> Mapping[Hashable, Any]:
+        payload = self.broadcast(view, state, round_index)
+        if payload is SILENT:
+            return {}
+        return {neighbor: payload for neighbor in view.neighbors}
+
+
 class LocalComputationPhase(SynchronousPhase):
     """A zero-round phase: pure local post-processing of node state.
 

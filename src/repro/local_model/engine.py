@@ -1,0 +1,96 @@
+"""Engine selection: the reference scheduler vs. the batched round engine.
+
+The package ships two interchangeable execution paths for synchronous phases:
+
+* ``"reference"`` -- :class:`~repro.local_model.scheduler.Scheduler`, the
+  direct transcription of the paper's model (one message object at a time,
+  per-round validation).  Maximally transparent; use it when debugging a
+  phase or when exactness of the *simulation* itself is under scrutiny.
+* ``"batched"`` -- :class:`~repro.local_model.batched.BatchedScheduler`, the
+  flat-array engine.  Produces bit-identical states and metrics (enforced by
+  ``tests/test_engine_equivalence.py``) at a fraction of the cost; use it for
+  benchmarks, sweeps and anything beyond toy sizes.
+
+Every high-level algorithm (``run_legal_coloring``, ``color_edges``, ...)
+accepts an ``engine`` argument that is resolved here; ``None`` falls back to
+the process-wide default, which can be flipped globally with
+:func:`set_default_engine` or temporarily with the :func:`use_engine` context
+manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
+
+from repro.exceptions import InvalidParameterError
+from repro.local_model.batched import BatchedScheduler
+from repro.local_model.network import Network
+from repro.local_model.scheduler import Scheduler
+
+#: Either scheduler class satisfies the same constructor / ``run`` protocol.
+SchedulerLike = Union[Scheduler, BatchedScheduler]
+
+_ENGINES: Dict[str, Callable[..., SchedulerLike]] = {
+    "reference": Scheduler,
+    "batched": BatchedScheduler,
+}
+
+_default_engine: str = "reference"
+
+
+def available_engines() -> tuple:
+    """Names of the registered execution engines."""
+    return tuple(sorted(_ENGINES))
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Validate ``engine`` and substitute the process default for ``None``."""
+    name = _default_engine if engine is None else engine
+    if name not in _ENGINES:
+        raise InvalidParameterError(
+            f"unknown engine {name!r}; available engines: {available_engines()}"
+        )
+    return name
+
+
+def default_engine() -> str:
+    """The current process-wide default engine name."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default engine (``"reference"`` or ``"batched"``)."""
+    global _default_engine
+    _default_engine = resolve_engine(engine)
+
+
+@contextmanager
+def use_engine(engine: str) -> Iterator[str]:
+    """Temporarily switch the default engine within a ``with`` block."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = resolve_engine(engine)
+    try:
+        yield _default_engine
+    finally:
+        _default_engine = previous
+
+
+def make_scheduler(
+    network: Network,
+    engine: Optional[str] = None,
+    globals_extra: Optional[Mapping[str, Any]] = None,
+    round_limit_factor: int = 1,
+) -> SchedulerLike:
+    """Instantiate the scheduler for ``engine`` (default: the process default).
+
+    This is the single seam through which all core algorithms obtain their
+    executor, so every algorithm runs unchanged on either path.
+    """
+    factory = _ENGINES[resolve_engine(engine)]
+    return factory(
+        network,
+        globals_extra=globals_extra,
+        round_limit_factor=round_limit_factor,
+    )

@@ -1,0 +1,111 @@
+"""A flat, index-based view of a :class:`~repro.local_model.network.Network`.
+
+The reference :class:`~repro.local_model.scheduler.Scheduler` addresses nodes
+by their (hashable) identifiers and re-validates every message with an
+``O(degree)`` adjacency scan.  For large networks that bookkeeping dominates
+the simulation cost, so the batched engine compiles the network once into a
+:class:`FastNetwork`: nodes become dense indices ``0..n-1``, the adjacency is
+stored CSR-style (one flat ``indices`` array plus ``indptr`` offsets), and
+per-node neighbor-identifier sets give ``O(1)`` message validation.  The
+compiled form is cached on the network (networks are immutable once
+constructed), so repeated runs -- e.g. the per-level invocations of Procedure
+Legal-Color -- pay the compilation cost only once.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Tuple
+
+from repro.local_model.network import Network
+
+
+class FastNetwork:
+    """CSR-style adjacency compiled from a :class:`Network`.
+
+    Attributes
+    ----------
+    order:
+        Node identifiers in the network's deterministic order; position in
+        this tuple is the node's dense index.
+    index_of:
+        Mapping from node identifier to dense index.
+    unique_ids:
+        ``unique_ids[i]`` is the distinct identity number of node ``i``.
+    indptr, indices:
+        The CSR arrays: the neighbors of node ``i`` are the dense indices
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    neighbor_ids:
+        ``neighbor_ids[i]`` is the tuple of neighbor *identifiers* of node
+        ``i`` in deterministic order (shared with the owning network, so
+        :class:`~repro.local_model.algorithm.LocalView` construction is free).
+    neighbor_id_sets:
+        ``neighbor_id_sets[i]`` is a frozenset of the same identifiers, used
+        for ``O(1)`` message validation.
+    degrees:
+        ``degrees[i]`` is the degree of node ``i``.
+    """
+
+    __slots__ = (
+        "network",
+        "order",
+        "index_of",
+        "unique_ids",
+        "indptr",
+        "indices",
+        "neighbor_ids",
+        "neighbor_id_sets",
+        "degrees",
+        "num_nodes",
+        "max_degree",
+    )
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        order: Tuple[Hashable, ...] = network.nodes()
+        self.order = order
+        self.num_nodes = len(order)
+        self.max_degree = network.max_degree
+        index_of: Dict[Hashable, int] = {node: i for i, node in enumerate(order)}
+        self.index_of = index_of
+        self.unique_ids = array("q", (network.unique_id(node) for node in order))
+
+        indptr = array("q", [0])
+        indices = array("q")
+        neighbor_ids = []
+        neighbor_id_sets = []
+        degrees = array("q")
+        offset = 0
+        for node in order:
+            neighbors = network.neighbors(node)
+            neighbor_ids.append(neighbors)
+            neighbor_id_sets.append(frozenset(neighbors))
+            degrees.append(len(neighbors))
+            indices.extend(index_of[neighbor] for neighbor in neighbors)
+            offset += len(neighbors)
+            indptr.append(offset)
+        self.indptr = indptr
+        self.indices = indices
+        self.neighbor_ids = tuple(neighbor_ids)
+        self.neighbor_id_sets = tuple(neighbor_id_sets)
+        self.degrees = degrees
+
+    def neighbor_indices(self, i: int) -> array:
+        """Dense neighbor indices of node ``i`` (a zero-copy CSR slice)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FastNetwork(n={self.num_nodes}, nnz={len(self.indices)})"
+
+
+def fast_view(network: Network) -> FastNetwork:
+    """The cached :class:`FastNetwork` of ``network`` (compiled on first use).
+
+    Networks are immutable once constructed, so the compiled view is stored on
+    the network object and shared by every scheduler that runs on it.
+    """
+    cached = getattr(network, "_fast_view_cache", None)
+    if cached is None:
+        cached = FastNetwork(network)
+        object.__setattr__(network, "_fast_view_cache", cached)
+    return cached

@@ -31,7 +31,7 @@ from typing import Any, Dict, Hashable, Mapping, Optional, Tuple, Union
 from repro.local_model.algorithm import PhasePipeline, SynchronousPhase
 from repro.local_model.metrics import PhaseMetrics, RunMetrics
 from repro.local_model.network import Network
-from repro.local_model.scheduler import PhaseResult, Scheduler
+from repro.local_model.scheduler import PhaseResult
 
 #: Additive setup cost of Lemma 5.2 (computing the unique edge identifiers).
 SIMULATION_SETUP_ROUNDS = 1
@@ -67,6 +67,7 @@ def simulate_on_line_graph(
     algorithm: Union[SynchronousPhase, PhasePipeline],
     globals_extra: Optional[Mapping[str, Any]] = None,
     initial_states: Optional[Mapping[Hashable, Dict[str, Any]]] = None,
+    engine: Optional[str] = None,
 ) -> LineGraphSimulationResult:
     """Run ``algorithm`` on ``L(G)`` and account its cost on ``G`` per Lemma 5.2.
 
@@ -87,9 +88,10 @@ def simulate_on_line_graph(
         The per-edge outputs plus both the raw and the adjusted metrics.
     """
     from repro.graphs.line_graph import build_line_graph_network
+    from repro.local_model.engine import make_scheduler
 
     line_network, _ = build_line_graph_network(network)
-    scheduler = Scheduler(line_network, globals_extra=globals_extra)
+    scheduler = make_scheduler(line_network, engine=engine, globals_extra=globals_extra)
     result: PhaseResult = scheduler.run(algorithm, initial_states=initial_states)
 
     adjusted = _apply_lemma_5_2_accounting(network, result.metrics)

@@ -22,9 +22,23 @@ from repro.exceptions import InvalidParameterError
 from repro.local_model.node import Node
 
 
-def _canonical_edge(u: Hashable, v: Hashable) -> Tuple[Hashable, Hashable]:
-    """Return the canonical (sorted) representation of the undirected edge."""
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+def node_sort_key(node: Hashable) -> Tuple:
+    """A total order over the identifier types used in this package.
+
+    Integers (and floats) compare numerically, strings lexicographically, and
+    tuples element-wise by the same rule; distinct types are segregated so the
+    comparison never raises.  Unlike ordering by ``repr`` -- which puts ``10``
+    before ``2`` and interleaves tuples with integers arbitrarily -- this key
+    is stable under renaming-free changes of ``repr`` and orders numeric
+    identifiers numerically.
+    """
+    if isinstance(node, tuple):
+        return (2, tuple(node_sort_key(item) for item in node))
+    if isinstance(node, (bool, int, float)):
+        return (0, node)
+    if isinstance(node, str):
+        return (1, node)
+    return (3, repr(node))
 
 
 class Network:
@@ -39,8 +53,11 @@ class Network:
     unique_ids:
         Optional mapping from node identifier to the distinct identity number
         in ``{1, ..., n}``.  When omitted, identifiers are assigned by sorting
-        node identifiers by their ``repr`` (deterministic for the identifier
-        types used in this package: integers and tuples of integers).
+        node identifiers with :func:`node_sort_key` (numeric for integers,
+        element-wise for tuples -- deterministic for the identifier types used
+        in this package).  Node, neighbor and edge orderings all follow the
+        unique identifiers, so tie-breaking stays consistent across derived
+        networks.
     """
 
     def __init__(
@@ -60,34 +77,40 @@ class Network:
                 adj[node].add(neighbor)
                 adj[neighbor].add(node)
 
-        self._order: List[Hashable] = sorted(adj, key=repr)
-        self._adjacency: Dict[Hashable, Tuple[Hashable, ...]] = {
-            node: tuple(sorted(adj[node], key=repr)) for node in self._order
-        }
-
+        # Nodes, neighbor lists and edges are all ordered by the assigned
+        # unique identifiers (NOT by repr, whose lexicographic order puts 10
+        # before 2 and is fragile for mixed int/tuple identifier sets).  When
+        # no identifiers are supplied they are assigned along the
+        # node_sort_key order, so identifier order and key order coincide.
         if unique_ids is None:
+            self._order: List[Hashable] = sorted(adj, key=node_sort_key)
             self._unique_ids: Dict[Hashable, int] = {
                 node: index + 1 for index, node in enumerate(self._order)
             }
         else:
-            missing = [node for node in self._order if node not in unique_ids]
+            missing = [node for node in adj if node not in unique_ids]
             if missing:
                 raise InvalidParameterError(
                     f"unique_ids missing entries for nodes: {missing[:5]!r}"
                 )
-            ids = [unique_ids[node] for node in self._order]
+            ids = [unique_ids[node] for node in adj]
             if len(set(ids)) != len(ids):
                 raise InvalidParameterError("unique_ids must be distinct")
-            self._unique_ids = {node: int(unique_ids[node]) for node in self._order}
+            self._unique_ids = {node: int(unique_ids[node]) for node in adj}
+            self._order = sorted(adj, key=self._unique_ids.__getitem__)
 
+        uid = self._unique_ids
+        self._adjacency: Dict[Hashable, Tuple[Hashable, ...]] = {
+            node: tuple(sorted(adj[node], key=uid.__getitem__)) for node in self._order
+        }
         self._edges: Tuple[Tuple[Hashable, Hashable], ...] = tuple(
             sorted(
                 {
-                    _canonical_edge(u, v)
+                    (u, v) if uid[u] <= uid[v] else (v, u)
                     for u in self._order
                     for v in self._adjacency[u]
                 },
-                key=repr,
+                key=lambda edge: (uid[edge[0]], uid[edge[1]]),
             )
         )
 

@@ -28,12 +28,12 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError, SimulationError
-from repro.local_model.algorithm import LocalView, PhasePipeline, SynchronousPhase
+from repro.local_model.algorithm import SILENT, BroadcastPhase, LocalView, PhasePipeline
 from repro.primitives.linial import LinialColoringPhase
 from repro.primitives.numbers import ceil_div
 
 
-class IterativeColorReductionPhase(SynchronousPhase):
+class IterativeColorReductionPhase(BroadcastPhase):
     """Reduce a legal ``palette``-coloring to ``target`` colors, one class per round.
 
     Requires ``target >= (maximum degree of the subgraph) + 1``: in each round
@@ -67,12 +67,10 @@ class IterativeColorReductionPhase(SynchronousPhase):
             )
         state["_reduce_current"] = color
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         if self.total_rounds == 0:
-            return {}
-        return {neighbor: state["_reduce_current"] for neighbor in view.neighbors}
+            return SILENT
+        return state["_reduce_current"]
 
     def receive(
         self,
@@ -107,7 +105,7 @@ class IterativeColorReductionPhase(SynchronousPhase):
         return self.total_rounds + 2
 
 
-class KuhnWattenhoferReductionPhase(SynchronousPhase):
+class KuhnWattenhoferReductionPhase(BroadcastPhase):
     """Kuhn-Wattenhofer block color reduction.
 
     Repeatedly partitions the palette into blocks of ``2 * target`` colors and
@@ -156,12 +154,10 @@ class KuhnWattenhoferReductionPhase(SynchronousPhase):
             )
         state["_kw_current"] = color
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         if self.total_rounds == 0:
-            return {}
-        return {neighbor: state["_kw_current"] for neighbor in view.neighbors}
+            return SILENT
+        return state["_kw_current"]
 
     def receive(
         self,

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
-from repro.local_model.algorithm import LocalView, PhasePipeline, SynchronousPhase
+from repro.local_model.algorithm import BroadcastPhase, LocalView, PhasePipeline, SynchronousPhase
 from repro.primitives.linial import LinialColoringPhase
 from repro.primitives.numbers import (
     base_q_digits,
@@ -65,7 +65,7 @@ def defective_step_parameters(
         q = next_prime(q + 1)
 
 
-class DefectiveStepPhase(SynchronousPhase):
+class DefectiveStepPhase(BroadcastPhase):
     """One defective polynomial recoloring step (a single round).
 
     The vertex broadcasts its current color, reads its neighbors' colors, and
@@ -98,10 +98,8 @@ class DefectiveStepPhase(SynchronousPhase):
                 f"color {color} outside declared palette 1..{self.palette}"
             )
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
-        return {neighbor: state[self.input_key] for neighbor in view.neighbors}
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
+        return state[self.input_key]
 
     def receive(
         self,

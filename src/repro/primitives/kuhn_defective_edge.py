@@ -24,11 +24,12 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
-from repro.local_model.algorithm import LocalView, SynchronousPhase
+from repro.local_model.algorithm import BroadcastPhase, LocalView
+from repro.local_model.network import node_sort_key
 from repro.primitives.numbers import ceil_div
 
 
-class KuhnDefectiveEdgeColoringPhase(SynchronousPhase):
+class KuhnDefectiveEdgeColoringPhase(BroadcastPhase):
     """Corollary 5.4 as a one-round phase on a line-graph network.
 
     Parameters
@@ -78,11 +79,9 @@ class KuhnDefectiveEdgeColoringPhase(SynchronousPhase):
                 "whose node identifiers are edge 2-tuples"
             )
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         own_class = state.get(self.class_key) if self.class_key else None
-        return {neighbor: {"class": own_class} for neighbor in view.neighbors}
+        return {"class": own_class}
 
     def receive(
         self,
@@ -124,7 +123,7 @@ class KuhnDefectiveEdgeColoringPhase(SynchronousPhase):
         incident = [own_edge] + [
             neighbor for neighbor in active_neighbors if endpoint in neighbor
         ]
-        incident.sort(key=repr)
+        incident.sort(key=node_sort_key)
         rank = incident.index(own_edge)
         label = rank // self._chunk + 1
         return min(label, self.p_prime)

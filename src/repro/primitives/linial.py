@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
-from repro.local_model.algorithm import LocalView, SynchronousPhase
+from repro.local_model.algorithm import SILENT, BroadcastPhase, LocalView
 from repro.primitives.numbers import (
     base_q_digits,
     next_prime,
@@ -91,7 +91,7 @@ def linial_final_palette(initial_palette: int, degree_bound: int) -> int:
     return linial_schedule(initial_palette, degree_bound)[1]
 
 
-class LinialColoringPhase(SynchronousPhase):
+class LinialColoringPhase(BroadcastPhase):
     """Distributed Linial coloring as a synchronous phase.
 
     Parameters
@@ -139,12 +139,10 @@ class LinialColoringPhase(SynchronousPhase):
             )
         state["_linial_current"] = color
 
-    def send(
-        self, view: LocalView, state: Dict[str, Any], round_index: int
-    ) -> Mapping[Hashable, Any]:
+    def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         if not self.schedule or self.degree_bound == 0:
-            return {}
-        return {neighbor: state["_linial_current"] for neighbor in view.neighbors}
+            return SILENT
+        return state["_linial_current"]
 
     def receive(
         self,

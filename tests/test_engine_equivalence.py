@@ -1,0 +1,272 @@
+"""Batched engine == reference scheduler, bit for bit.
+
+The batched round engine (:class:`repro.local_model.BatchedScheduler`) is
+only trustworthy because these tests pin it to the reference scheduler: for
+every core algorithm, over a grid of graphs and seeds, the two engines must
+produce *identical* final colorings and *identical* metrics (rounds,
+messages, total words, maximum message size -- per phase, not just in
+aggregate).  Any divergence, however small, is a bug in one of the engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.baselines import luby_edge_coloring, panconesi_rizzi_edge_coloring
+from repro.core import (
+    color_edges,
+    color_vertices,
+    randomized_color_vertices,
+    run_defective_color,
+    tradeoff_color_vertices,
+)
+from repro.graphs.line_graph import line_graph_network
+from repro.local_model import (
+    BatchedScheduler,
+    Network,
+    PhasePipeline,
+    Scheduler,
+    make_scheduler,
+    use_engine,
+)
+from repro.primitives.color_reduction import delta_plus_one_pipeline
+from repro.primitives.kuhn_defective import defective_coloring_pipeline
+
+
+def metrics_fingerprint(metrics):
+    """Aggregate plus full per-phase breakdown -- the strongest comparison."""
+    return (
+        metrics.summary(),
+        [
+            (p.name, p.rounds, p.messages, p.total_words, p.max_message_words)
+            for p in metrics.phases
+        ],
+    )
+
+
+GRAPHS = {
+    "triangle": lambda: graphs.cycle_graph(3),
+    "path10": lambda: graphs.path_graph(10),
+    "cycle9": lambda: graphs.cycle_graph(9),
+    "star6": lambda: graphs.star_graph(6),
+    "grid5x4": lambda: graphs.grid_graph(5, 4),
+    "clique_pendants8": lambda: graphs.clique_with_pendants(8),
+    "regular24x4": lambda: graphs.random_regular(24, 4, seed=7),
+    "regular30x6": lambda: graphs.random_regular(30, 6, seed=11),
+    "regular26x8-s3": lambda: graphs.random_regular(26, 8, seed=3),
+}
+
+
+@pytest.fixture(params=sorted(GRAPHS), name="grid_network")
+def _grid_network(request):
+    return GRAPHS[request.param]()
+
+
+class TestSchedulerLevelEquivalence:
+    """Raw pipelines compared straight at the scheduler API."""
+
+    def _compare(self, network: Network, pipeline, initial_states=None):
+        reference = Scheduler(network).run(pipeline, initial_states=initial_states)
+        batched = BatchedScheduler(network).run(pipeline, initial_states=initial_states)
+        assert batched.states == reference.states
+        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+    def test_delta_plus_one_pipeline(self, grid_network):
+        pipeline, _ = delta_plus_one_pipeline(
+            n=grid_network.num_nodes,
+            degree_bound=max(1, grid_network.max_degree),
+            output_key="c",
+        )
+        self._compare(grid_network, pipeline)
+
+    def test_defective_pipeline(self, grid_network):
+        pipeline, _ = defective_coloring_pipeline(
+            n=grid_network.num_nodes,
+            degree_bound=max(1, grid_network.max_degree),
+            target_defect=2,
+            output_key="d",
+        )
+        self._compare(grid_network, pipeline)
+
+    def test_empty_network(self):
+        pipeline, _ = delta_plus_one_pipeline(n=1, degree_bound=1, output_key="c")
+        self._compare(Network({}), pipeline)
+
+
+class TestLegalColoringEquivalence:
+    @pytest.mark.parametrize("quality", ["superlinear", "linear"])
+    def test_identical_colorings_and_metrics(self, grid_network, quality):
+        c = max(1, grid_network.max_degree)
+        reference = color_vertices(
+            grid_network, c=c, quality=quality, engine="reference"
+        )
+        batched = color_vertices(grid_network, c=c, quality=quality, engine="batched")
+        assert batched.colors == reference.colors
+        assert batched.palette == reference.palette
+        assert [level.rounds for level in batched.levels] == [
+            level.rounds for level in reference.levels
+        ]
+        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+
+class TestEdgeColoringEquivalence:
+    @pytest.mark.parametrize("quality", ["superlinear", "linear"])
+    @pytest.mark.parametrize("route", ["direct", "simulation"])
+    def test_identical_edge_colorings(self, quality, route):
+        for seed in (1, 5):
+            network = graphs.random_regular(20, 4, seed=seed)
+            reference = color_edges(
+                network, quality=quality, route=route, engine="reference"
+            )
+            batched = color_edges(
+                network, quality=quality, route=route, engine="batched"
+            )
+            assert batched.edge_colors == reference.edge_colors
+            assert batched.palette == reference.palette
+            assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+                reference.metrics
+            )
+
+
+class TestDefectiveColoringEquivalence:
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_identical_psi_colorings(self, p):
+        for seed in (2, 9):
+            line = line_graph_network(graphs.random_regular(18, 4, seed=seed))
+            ref_colors, ref_info, ref_metrics = run_defective_color(
+                line, b=1, p=p, c=2, engine="reference"
+            )
+            bat_colors, bat_info, bat_metrics = run_defective_color(
+                line, b=1, p=p, c=2, engine="batched"
+            )
+            assert bat_colors == ref_colors
+            assert bat_info == ref_info
+            assert metrics_fingerprint(bat_metrics) == metrics_fingerprint(ref_metrics)
+
+    def test_edge_mode(self):
+        line = line_graph_network(graphs.random_regular(16, 6, seed=4))
+        ref_colors, _, ref_metrics = run_defective_color(
+            line, b=2, p=3, c=2, mode="edge", engine="reference"
+        )
+        bat_colors, _, bat_metrics = run_defective_color(
+            line, b=2, p=3, c=2, mode="edge", engine="batched"
+        )
+        assert bat_colors == ref_colors
+        assert metrics_fingerprint(bat_metrics) == metrics_fingerprint(ref_metrics)
+
+
+class TestTradeoffEquivalence:
+    @pytest.mark.parametrize("g_label,g", [("sqrt", lambda d: d**0.5), ("linear", float)])
+    def test_identical_tradeoff_colorings(self, g_label, g):
+        line = line_graph_network(graphs.random_regular(20, 6, seed=13))
+        reference = tradeoff_color_vertices(line, c=2, g=g, engine="reference")
+        batched = tradeoff_color_vertices(line, c=2, g=g, engine="batched")
+        assert batched.colors == reference.colors
+        assert batched.palette == reference.palette
+        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+
+class TestRandomizedEquivalence:
+    def test_identical_randomized_colorings(self):
+        # Per-node randomness is keyed by (seed, unique id), so it must be
+        # engine-independent.
+        network = graphs.random_regular(32, 8, seed=21)
+        for seed in (0, 7):
+            reference = randomized_color_vertices(
+                network, c=8, seed=seed, engine="reference"
+            )
+            batched = randomized_color_vertices(
+                network, c=8, seed=seed, engine="batched"
+            )
+            assert batched.colors == reference.colors
+            assert batched.class_assignment == reference.class_assignment
+            assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+                reference.metrics
+            )
+
+
+class TestBaselineEquivalence:
+    """Baselines exercise the generic (non-broadcast) fallback path too."""
+
+    def test_panconesi_rizzi(self):
+        network = graphs.random_regular(18, 4, seed=5)
+        reference = panconesi_rizzi_edge_coloring(network, engine="reference")
+        batched = panconesi_rizzi_edge_coloring(network, engine="batched")
+        assert batched.edge_colors == reference.edge_colors
+        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+    def test_luby_randomized(self):
+        network = graphs.random_regular(18, 4, seed=6)
+        reference = luby_edge_coloring(network, seed=3, engine="reference")
+        batched = luby_edge_coloring(network, seed=3, engine="batched")
+        assert batched.edge_colors == reference.edge_colors
+        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+
+class TestEngineSelection:
+    def test_make_scheduler_types(self, triangle):
+        assert isinstance(make_scheduler(triangle, engine="reference"), Scheduler)
+        assert isinstance(make_scheduler(triangle, engine="batched"), BatchedScheduler)
+
+    def test_use_engine_context_switches_default(self, triangle):
+        with use_engine("batched"):
+            assert isinstance(make_scheduler(triangle), BatchedScheduler)
+        assert isinstance(make_scheduler(triangle), Scheduler)
+
+    def test_unknown_engine_rejected(self, triangle):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            make_scheduler(triangle, engine="warp-drive")
+
+    def test_default_engine_drives_algorithms(self, small_regular):
+        baseline = color_vertices(small_regular, c=4, engine="reference")
+        with use_engine("batched"):
+            switched = color_vertices(small_regular, c=4)
+        assert switched.colors == baseline.colors
+
+    def test_non_neighbor_message_rejected_by_batched(self, triangle):
+        from repro.exceptions import SimulationError
+        from repro.local_model import SynchronousPhase
+
+        class Misbehaving(SynchronousPhase):
+            name = "misbehaving"
+
+            def send(self, view, state, round_index):
+                return {"not-a-neighbor": 1}
+
+            def receive(self, view, state, inbox, round_index):
+                return True
+
+        with pytest.raises(SimulationError):
+            BatchedScheduler(triangle).run(Misbehaving())
+
+    def test_round_limit_enforced_by_batched(self, triangle):
+        from repro.exceptions import RoundLimitExceeded
+        from repro.local_model import SynchronousPhase
+
+        class NeverHalting(SynchronousPhase):
+            name = "never-halting"
+
+            def send(self, view, state, round_index):
+                return {}
+
+            def receive(self, view, state, inbox, round_index):
+                return False
+
+            def max_rounds(self, n, max_degree):
+                return 5
+
+        with pytest.raises(RoundLimitExceeded):
+            BatchedScheduler(triangle).run(NeverHalting())

@@ -1,0 +1,162 @@
+"""Tests for :mod:`repro.experiments` -- the parallel, caching runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    CACHE_VERSION,
+    ExperimentRunner,
+    GraphSpec,
+    ResultCache,
+    Scenario,
+)
+
+
+def legal_scenario(degree=4, n=16, seed=1, engine="batched", **kwargs) -> Scenario:
+    return Scenario.make(
+        name=f"legal-d{degree}-n{n}-s{seed}",
+        graph=GraphSpec("random_regular", n=n, degree=degree, seed=seed),
+        algorithm="legal_coloring",
+        params={"c": degree, "quality": "superlinear"},
+        engine=engine,
+        **kwargs,
+    )
+
+
+def sweep_scenarios(count_at_least=32):
+    scenarios = []
+    for degree in (2, 3, 4, 6):
+        for seed in (0, 1):
+            spec = GraphSpec("random_regular", n=16, degree=degree, seed=seed)
+            scenarios.append(
+                Scenario.make(
+                    name=f"legal-d{degree}-s{seed}",
+                    graph=spec,
+                    algorithm="legal_coloring",
+                    params={"c": degree},
+                )
+            )
+            scenarios.append(
+                Scenario.make(
+                    name=f"edge-d{degree}-s{seed}",
+                    graph=spec,
+                    algorithm="edge_coloring",
+                    params={"quality": "superlinear", "route": "direct"},
+                )
+            )
+            scenarios.append(
+                Scenario.make(
+                    name=f"pr-d{degree}-s{seed}",
+                    graph=spec,
+                    algorithm="panconesi_rizzi",
+                )
+            )
+            scenarios.append(
+                Scenario.make(
+                    name=f"tradeoff-d{degree}-s{seed}",
+                    graph=spec,
+                    algorithm="tradeoff",
+                    params={"c": degree, "g": "sqrt"},
+                )
+            )
+    assert len(scenarios) >= count_at_least
+    return scenarios
+
+
+class TestParallelSweep:
+    def test_32_scenarios_sharded_across_processes_with_caching(self, tmp_path):
+        scenarios = sweep_scenarios(32)
+        runner = ExperimentRunner(cache_dir=tmp_path, max_workers=4)
+
+        results = runner.run(scenarios)
+        assert len(results) == len(scenarios)
+        # Results come back in input order, fresh and verified.
+        assert [r.name for r in results] == [s.name for s in scenarios]
+        assert all(not r.cached for r in results)
+        assert all(r.verified for r in results)
+        assert all(r.rounds > 0 for r in results)
+
+        # Second pass: everything is served from the on-disk cache, verbatim.
+        again = runner.run(scenarios)
+        assert all(r.cached for r in again)
+        for fresh, cached in zip(results, again):
+            assert cached.payload == fresh.payload
+
+    def test_cache_survives_runner_instances(self, tmp_path):
+        scenario = legal_scenario()
+        ExperimentRunner(cache_dir=tmp_path, max_workers=0).run([scenario])
+        (hit,) = ExperimentRunner(cache_dir=tmp_path, max_workers=0).run([scenario])
+        assert hit.cached
+
+    def test_duplicate_scenarios_execute_once(self, tmp_path):
+        scenario = legal_scenario()
+        runner = ExperimentRunner(cache_dir=tmp_path, max_workers=0)
+        first, second = runner.run([scenario, scenario])
+        assert first.payload == second.payload
+        # Only one cache entry was produced for the pair.
+        assert len(runner.cache) == 1
+
+    def test_without_cache_dir_everything_is_fresh(self):
+        scenario = legal_scenario(n=12, degree=3, seed=2)
+        runner = ExperimentRunner(cache_dir=None, max_workers=0)
+        (first,) = runner.run([scenario])
+        (second,) = runner.run([scenario])
+        assert not first.cached and not second.cached
+        assert first.coloring_digest == second.coloring_digest
+
+
+class TestScenarioAndCache:
+    def test_capture_colors_round_trips_node_identifiers(self):
+        scenario = Scenario.make(
+            name="edge-capture",
+            graph=GraphSpec("random_regular", n=10, degree=3, seed=3),
+            algorithm="edge_coloring",
+            params={"quality": "superlinear", "route": "direct"},
+            capture_colors=True,
+        )
+        runner = ExperimentRunner(cache_dir=None, max_workers=0)
+        (result,) = runner.run([scenario])
+        coloring = result.coloring
+        # Edge identifiers are 2-tuples; literal_eval restores them.
+        assert all(isinstance(node, tuple) and len(node) == 2 for node in coloring)
+        assert len(coloring) == result.num_edges
+
+    def test_uncaptured_coloring_raises(self):
+        runner = ExperimentRunner(cache_dir=None, max_workers=0)
+        (result,) = runner.run([legal_scenario(n=12, degree=3)])
+        with pytest.raises(ValueError):
+            result.coloring
+
+    def test_unknown_algorithm_rejected(self):
+        scenario = Scenario.make(
+            name="bad",
+            graph=GraphSpec("random_regular", n=10, degree=3, seed=0),
+            algorithm="no-such-algorithm",
+        )
+        with pytest.raises(InvalidParameterError):
+            ExperimentRunner(max_workers=0).run([scenario])
+
+    def test_unknown_graph_family_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GraphSpec("no-such-family", n=4).build()
+
+    def test_cache_files_are_self_describing_json(self, tmp_path):
+        scenario = legal_scenario()
+        ExperimentRunner(cache_dir=tmp_path, max_workers=0).run([scenario])
+        files = list((tmp_path / f"v{CACHE_VERSION}").glob("*/*.json"))
+        assert len(files) == 1
+        entry = json.loads(files[0].read_text())
+        assert entry["key"] == scenario.key()
+        assert entry["payload"]["rounds"] > 0
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        token = legal_scenario().cache_token()
+        cache.put(token, {"k": 1}, {"rounds": 3})
+        path = cache._path(token)
+        path.write_text("{not json")
+        assert cache.get(token) is None

@@ -49,7 +49,7 @@ class TestAccessors:
     def test_neighbors_are_sorted_and_consistent(self, small_regular):
         for node in small_regular.nodes():
             neighbors = small_regular.neighbors(node)
-            assert list(neighbors) == sorted(neighbors, key=repr)
+            assert list(neighbors) == sorted(neighbors, key=small_regular.unique_id)
             for neighbor in neighbors:
                 assert small_regular.has_edge(node, neighbor)
                 assert small_regular.has_edge(neighbor, node)
@@ -67,6 +67,53 @@ class TestAccessors:
     def test_degree_of_missing_node_raises(self, triangle):
         with pytest.raises(KeyError):
             triangle.degree(42)
+
+
+class TestOrdering:
+    """Regression tests for the repr-ordering bug.
+
+    Node, neighbor and edge orderings used to be derived from ``repr``, which
+    sorts integers lexicographically (10 before 2) and interleaves mixed
+    int/tuple identifier sets arbitrarily.  All orderings now follow the
+    assigned unique identifiers.
+    """
+
+    def test_integer_nodes_are_ordered_numerically(self):
+        network = Network({i: [] for i in (2, 10, 1, 30, 3)})
+        assert network.nodes() == (1, 2, 3, 10, 30)
+        assert [network.unique_id(node) for node in network.nodes()] == [1, 2, 3, 4, 5]
+
+    def test_canonical_edges_follow_unique_ids_not_repr(self):
+        # repr ordering would canonicalize (2, 10) as (10, 2) since "10" < "2".
+        network = Network({2: [10], 10: []})
+        assert network.edges() == ((2, 10),)
+
+    def test_mixed_int_and_tuple_identifiers(self):
+        # A graph mixing plain integers with edge-tuple identifiers (as appears
+        # when original-graph and line-graph style ids are combined).
+        adjacency = {10: [(1, 2)], (1, 2): [2], 2: [], (1, 10): []}
+        network = Network(adjacency)
+        # Integers first (numerically), then tuples (element-wise).
+        assert network.nodes() == (2, 10, (1, 2), (1, 10))
+        ids = [network.unique_id(node) for node in network.nodes()]
+        assert ids == [1, 2, 3, 4]
+        # Canonical edges are oriented by unique id: 2 and 10 precede the tuples.
+        assert network.edges() == ((2, (1, 2)), (10, (1, 2)))
+        # Neighbor lists are ordered by unique id too.
+        assert network.neighbors((1, 2)) == (2, 10)
+
+    def test_explicit_unique_ids_drive_all_orderings(self):
+        network = Network({1: [2, 3], 2: [3], 3: []}, unique_ids={1: 30, 2: 20, 3: 10})
+        assert network.nodes() == (3, 2, 1)
+        assert network.neighbors(1) == (3, 2)
+        assert network.edges() == ((3, 2), (3, 1), (2, 1))
+
+    def test_derived_networks_preserve_ordering(self):
+        network = Network({i: [(i + 1) % 12] for i in range(12)})
+        filtered = network.filtered_by_edge(lambda u, v: (u + v) % 3 == 0)
+        assert filtered.nodes() == network.nodes()
+        induced = network.induced_subgraph(range(0, 12, 2))
+        assert induced.nodes() == tuple(range(0, 12, 2))
 
 
 class TestUniqueIds:

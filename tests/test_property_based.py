@@ -15,12 +15,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import color_edges, run_defective_color
+from repro.experiments import ExperimentRunner, GraphSpec, Scenario
 from repro.graphs.line_graph import line_graph_network
 from repro.graphs.properties import (
     has_neighborhood_independence_at_most,
     neighborhood_independence,
 )
-from repro.local_model import Network, Scheduler
+from repro.local_model import BatchedScheduler, Network, Scheduler
 from repro.local_model.messages import payload_size_words
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
 from repro.primitives.color_reduction import delta_plus_one_pipeline
@@ -235,3 +236,141 @@ class TestColoringProperties:
         result = color_edges(network, quality="superlinear", route="direct")
         assert_legal_edge_coloring(network, result.edge_colors)
         assert result.colors_used <= result.palette
+
+
+# --------------------------------------------------------------------------- #
+# Batched engine equivalence on random graphs
+# --------------------------------------------------------------------------- #
+
+
+def _metrics_fingerprint(metrics):
+    return (
+        metrics.summary(),
+        [
+            (p.name, p.rounds, p.messages, p.total_words, p.max_message_words)
+            for p in metrics.phases
+        ],
+    )
+
+
+class TestBatchedEngineProperties:
+    """The batched engine is indistinguishable from the reference scheduler
+    on arbitrary random graphs -- states, per-phase metrics, everything."""
+
+    @SLOW
+    @given(random_edge_lists(max_nodes=10))
+    def test_delta_plus_one_pipeline_is_engine_independent(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        pipeline, _ = delta_plus_one_pipeline(
+            n=network.num_nodes, degree_bound=max(1, network.max_degree), output_key="c"
+        )
+        reference = Scheduler(network).run(pipeline)
+        batched = BatchedScheduler(network).run(pipeline)
+        assert batched.states == reference.states
+        assert _metrics_fingerprint(batched.metrics) == _metrics_fingerprint(
+            reference.metrics
+        )
+
+    @SLOW
+    @given(random_edge_lists(max_nodes=10), st.integers(min_value=1, max_value=4))
+    def test_defective_pipeline_is_engine_independent(self, data, defect):
+        n, edges = data
+        network = build_network(n, edges)
+        pipeline, _ = defective_coloring_pipeline(
+            n=network.num_nodes,
+            degree_bound=max(1, network.max_degree),
+            target_defect=defect,
+            output_key="d",
+        )
+        reference = Scheduler(network).run(pipeline)
+        batched = BatchedScheduler(network).run(pipeline)
+        assert batched.states == reference.states
+        assert _metrics_fingerprint(batched.metrics) == _metrics_fingerprint(
+            reference.metrics
+        )
+
+    @SLOW
+    @given(random_edge_lists(max_nodes=8))
+    def test_edge_coloring_is_engine_independent(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        if network.num_edges == 0:
+            return
+        reference = color_edges(
+            network, quality="superlinear", route="direct", engine="reference"
+        )
+        batched = color_edges(
+            network, quality="superlinear", route="direct", engine="batched"
+        )
+        assert batched.edge_colors == reference.edge_colors
+        assert _metrics_fingerprint(batched.metrics) == _metrics_fingerprint(
+            reference.metrics
+        )
+
+
+# --------------------------------------------------------------------------- #
+# ExperimentRunner cache invariants
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def runner_scenarios(draw) -> Scenario:
+    """A random (but valid) legal-coloring scenario on a tiny regular graph."""
+    degree = draw(st.integers(min_value=2, max_value=4))
+    n = draw(st.integers(min_value=degree + 2, max_value=14))
+    if (n * degree) % 2 != 0:
+        n += 1
+    seed = draw(st.integers(min_value=0, max_value=5))
+    quality = draw(st.sampled_from(["superlinear", "linear"]))
+    engine = draw(st.sampled_from(["batched", "reference"]))
+    return Scenario.make(
+        name=f"prop-{degree}-{n}-{seed}-{quality}-{engine}",
+        graph=GraphSpec("random_regular", n=n, degree=degree, seed=seed),
+        algorithm="legal_coloring",
+        params={"c": degree, "quality": quality},
+        engine=engine,
+    )
+
+
+class TestExperimentRunnerProperties:
+    @SLOW
+    @given(runner_scenarios())
+    def test_cache_hit_equals_fresh_run(self, scenario):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            runner = ExperimentRunner(cache_dir=tmp, max_workers=0)
+            (fresh,) = runner.run([scenario])
+            (cached,) = runner.run([scenario])
+            assert not fresh.cached
+            assert cached.cached
+            # The cached payload is the fresh payload, verbatim.
+            assert cached.payload == fresh.payload
+            assert cached.coloring_digest == fresh.coloring_digest
+            assert fresh.verified
+
+    @SLOW
+    @given(runner_scenarios())
+    def test_cache_token_is_stable_and_name_independent(self, scenario):
+        renamed = Scenario.make(
+            name="completely-different-name",
+            graph=scenario.graph,
+            algorithm=scenario.algorithm,
+            params=scenario.params_dict,
+            engine=scenario.engine,
+        )
+        assert renamed.cache_token() == scenario.cache_token()
+        assert scenario.with_engine("reference").cache_token() != (
+            scenario.with_engine("batched").cache_token()
+        )
+
+    @SLOW
+    @given(runner_scenarios())
+    def test_engines_agree_through_the_runner(self, scenario):
+        runner = ExperimentRunner(cache_dir=None, max_workers=0)
+        (reference,) = runner.run([scenario.with_engine("reference")])
+        (batched,) = runner.run([scenario.with_engine("batched")])
+        assert batched.coloring_digest == reference.coloring_digest
+        assert batched.rounds == reference.rounds
+        assert batched.messages == reference.messages
