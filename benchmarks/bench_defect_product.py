@@ -71,7 +71,8 @@ def _sweep():
 def test_defect_times_colors_product(benchmark):
     Lambda, rows = _sweep()
     print_section(
-        "Theorem 3.7 / Corollary 3.8 -- defect x colors: new procedure vs. previous defective coloring"
+        "Theorem 3.7 / Corollary 3.8 -- defect x colors: "
+        "new procedure vs. previous defective coloring"
         f"  (Delta(L(G)) = {Lambda})"
     )
     print(

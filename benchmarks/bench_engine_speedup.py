@@ -1,13 +1,17 @@
-"""Batched round engine vs. reference scheduler, plus a cached parallel sweep.
+"""Three execution engines compared, plus a cached parallel sweep.
 
 Two claims are demonstrated here (committed numbers in
-``benchmarks/results/engine_speedup.md``):
+``benchmarks/results/engine_speedup.md`` / ``engine_speedup.json``):
 
-1. **Speedup.**  On a 2000-node random regular graph, Procedure Legal-Color
-   (Theorem 4.8(2) parameters) runs >= 5x faster on the batched engine than
-   on the reference scheduler, while producing the *identical* coloring and
-   identical metrics (the equivalence suite locks this down for the whole
-   algorithm zoo; this benchmark re-checks it on the timed instance).
+1. **Speedup.**  On random regular graphs up to ``n = 100,000``, Procedure
+   Legal-Color (Theorem 4.8(2) parameters) runs substantially faster on the
+   batched engine than on the reference scheduler, and another order of
+   magnitude faster on the vectorized engine -- >= 5x over batched at
+   ``n >= 50,000`` -- while producing the *identical* coloring and identical
+   metrics (the equivalence suite locks this down for the whole algorithm
+   zoo; this benchmark re-checks it on the timed instances).  The reference
+   scheduler is only timed at the smallest full-mode size; at ``n >= 50,000``
+   it would take tens of minutes without adding information.
 2. **Sweep throughput.**  A 36-scenario sweep (degree x algorithm x seed)
    shards across worker processes via ``ExperimentRunner`` and is served
    entirely from the on-disk cache on the second pass.
@@ -18,7 +22,9 @@ Run with::
         benchmarks/bench_engine_speedup.py --benchmark-only -s
 
 ``REPRO_BENCH_RECORD=1`` additionally rewrites
-``benchmarks/results/engine_speedup.json``.
+``benchmarks/results/engine_speedup.json`` (or ``engine_speedup_quick.json``
+under ``REPRO_BENCH_QUICK=1`` -- the committed quick record is the baseline
+of the CI perf-regression gate, see ``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
@@ -36,23 +42,53 @@ from repro.analysis import format_table
 from repro.core import color_vertices
 from repro.experiments import GraphSpec, Scenario
 
-SPEEDUP_N = 400 if QUICK else 2000
 SPEEDUP_DEGREE = 32
 SPEEDUP_SEED = 3
 #: Neighborhood-independence bound passed to Procedure Legal-Color.
 SPEEDUP_C = 5
 
+#: (n, engines timed at that size).  The reference scheduler is only timed
+#: where it finishes in seconds; batched-vs-vectorized is the interesting
+#: comparison at scale.
+SPEEDUP_SIZES = (
+    ((400, ("reference", "batched", "vectorized")),)
+    if QUICK
+    else (
+        (2000, ("reference", "batched", "vectorized")),
+        (50_000, ("batched", "vectorized")),
+        (100_000, ("batched", "vectorized")),
+    )
+)
+
 SWEEP_DEGREES = (4, 6) if QUICK else (4, 6, 8, 12, 16, 22)
 SWEEP_SEEDS = (1, 2, 3)
 SWEEP_N = 32 if QUICK else 64
 
+RESULTS_FILE = "engine_speedup_quick.json" if QUICK else "engine_speedup.json"
+
+#: Runs faster than this are repeated (best-of, up to _MAX_REPEATS) so the
+#: perf-regression gate never compares single ~10 ms samples across noisy CI
+#: machines; multi-second runs stay single-shot.
+_MIN_RELIABLE_SECONDS = 0.5
+_MAX_REPEATS = 5
+
 
 def _timed_legal_color(network, engine: str):
-    started = time.perf_counter()
-    result = color_vertices(
-        network, c=SPEEDUP_C, quality="superlinear", engine=engine
-    )
-    return result, time.perf_counter() - started
+    result = None
+    best = None
+    for _ in range(_MAX_REPEATS):
+        started = time.perf_counter()
+        run = color_vertices(
+            network, c=SPEEDUP_C, quality="superlinear", engine=engine
+        )
+        elapsed = time.perf_counter() - started
+        if result is None:
+            result = run  # Deterministic: every repeat produces the same result.
+        if best is None or elapsed < best:
+            best = elapsed
+        if best >= _MIN_RELIABLE_SECONDS:
+            break
+    return result, best
 
 
 def _sweep_scenarios():
@@ -79,49 +115,90 @@ def _sweep_scenarios():
     return scenarios
 
 
+def _run_size(n: int, engines) -> dict:
+    """Time every engine on one instance; verify bit-identical outputs."""
+    network = graphs.random_regular(n, SPEEDUP_DEGREE, seed=SPEEDUP_SEED)
+    results = {}
+    seconds = {}
+    for engine in engines:
+        results[engine], seconds[engine] = _timed_legal_color(network, engine)
+
+    baseline_engine = engines[0]
+    baseline = results[baseline_engine]
+    for engine in engines[1:]:
+        assert results[engine].colors == baseline.colors, (
+            f"{engine} diverged from {baseline_engine} at n={n}"
+        )
+        assert results[engine].metrics.summary() == baseline.metrics.summary()
+
+    row = {
+        "n": n,
+        "degree": SPEEDUP_DEGREE,
+        "seconds": {engine: round(seconds[engine], 4) for engine in engines},
+        "rounds": baseline.metrics.rounds,
+        "messages": baseline.metrics.messages,
+        "palette": baseline.palette,
+        "identical_outputs": True,
+    }
+    if "reference" in seconds and "batched" in seconds:
+        row["speedup_batched_over_reference"] = round(
+            seconds["reference"] / max(seconds["batched"], 1e-9), 2
+        )
+    if "batched" in seconds and "vectorized" in seconds:
+        row["speedup_vectorized_over_batched"] = round(
+            seconds["batched"] / max(seconds["vectorized"], 1e-9), 2
+        )
+    return row
+
+
 def test_engine_speedup(benchmark):
-    network = graphs.random_regular(SPEEDUP_N, SPEEDUP_DEGREE, seed=SPEEDUP_SEED)
-
-    reference_result, reference_seconds = _timed_legal_color(network, "reference")
-    batched_result, batched_seconds = _timed_legal_color(network, "batched")
-
-    # Bit-identical outputs on the timed instance.
-    assert batched_result.colors == reference_result.colors
-    assert batched_result.metrics.summary() == reference_result.metrics.summary()
-
-    speedup = reference_seconds / max(batched_seconds, 1e-9)
-
+    rows = []
     print_section(
-        f"Batched engine vs. reference scheduler -- Procedure Legal-Color "
-        f"(n = {SPEEDUP_N}, Delta = {SPEEDUP_DEGREE})"
+        "Three execution engines -- Procedure Legal-Color "
+        f"(Delta = {SPEEDUP_DEGREE}, c = {SPEEDUP_C})"
     )
+    for n, engines in SPEEDUP_SIZES:
+        row = _run_size(n, engines)
+        rows.append(row)
+
     print(
         format_table(
-            ["engine", "wall time (s)", "rounds", "messages", "palette"],
+            [
+                "n",
+                "reference (s)",
+                "batched (s)",
+                "vectorized (s)",
+                "batched/ref",
+                "vec/batched",
+                "rounds",
+                "palette",
+            ],
             [
                 [
-                    "reference",
-                    round(reference_seconds, 3),
-                    reference_result.metrics.rounds,
-                    reference_result.metrics.messages,
-                    reference_result.palette,
-                ],
-                [
-                    "batched",
-                    round(batched_seconds, 3),
-                    batched_result.metrics.rounds,
-                    batched_result.metrics.messages,
-                    batched_result.palette,
-                ],
+                    row["n"],
+                    row["seconds"].get("reference", "-"),
+                    row["seconds"].get("batched", "-"),
+                    row["seconds"].get("vectorized", "-"),
+                    row.get("speedup_batched_over_reference", "-"),
+                    row.get("speedup_vectorized_over_batched", "-"),
+                    row["rounds"],
+                    row["palette"],
+                ]
+                for row in rows
             ],
         )
     )
-    print(f"\nSpeedup: {speedup:.2f}x (identical colorings and metrics).")
+    print("\nIdentical colorings and metrics across all timed engines.")
 
-    # The committed result records >= 5x at the full size; keep the in-test
-    # bound looser so a loaded CI box does not flake.
+    # The committed record claims >= 5x at n >= 50,000; keep the in-test
+    # bound looser so a loaded box does not flake.
     if not QUICK:
-        assert speedup >= 3.0, f"batched engine only {speedup:.2f}x faster"
+        for row in rows:
+            if row["n"] >= 50_000:
+                speedup = row["speedup_vectorized_over_batched"]
+                assert speedup >= 3.0, (
+                    f"vectorized engine only {speedup:.2f}x faster at n={row['n']}"
+                )
 
     # ------------------------------------------------------------------ #
     # Parallel sweep with caching.
@@ -154,13 +231,14 @@ def test_engine_speedup(benchmark):
         record = {
             "workload": {
                 "algorithm": "legal_coloring (Theorem 4.8(2) parameters)",
-                "graph": f"random_regular(n={SPEEDUP_N}, degree={SPEEDUP_DEGREE}, seed={SPEEDUP_SEED})",
+                "graph": (
+                    f"random_regular(n, degree={SPEEDUP_DEGREE}, "
+                    f"seed={SPEEDUP_SEED})"
+                ),
                 "c": SPEEDUP_C,
             },
-            "reference_seconds": round(reference_seconds, 4),
-            "batched_seconds": round(batched_seconds, 4),
-            "speedup": round(speedup, 2),
-            "identical_outputs": True,
+            "quick": QUICK,
+            "sizes": rows,
             "sweep": {
                 "scenarios": len(scenarios),
                 "fresh_seconds": round(first_seconds, 3),
@@ -169,10 +247,12 @@ def test_engine_speedup(benchmark):
             "python": platform.python_version(),
             "platform": platform.platform(),
         }
-        out = Path(__file__).parent / "results" / "engine_speedup.json"
+        out = Path(__file__).parent / "results" / RESULTS_FILE
         out.parent.mkdir(exist_ok=True)
         out.write_text(json.dumps(record, indent=2) + "\n")
         print(f"\nRecorded results to {out}")
 
-    # Time the batched run once more under pytest-benchmark.
-    run_once(benchmark, lambda: _timed_legal_color(network, "batched"))
+    # Time the vectorized run once more under pytest-benchmark.
+    timed_n = SPEEDUP_SIZES[0][0]
+    timed_network = graphs.random_regular(timed_n, SPEEDUP_DEGREE, seed=SPEEDUP_SEED)
+    run_once(benchmark, lambda: _timed_legal_color(timed_network, "vectorized"))

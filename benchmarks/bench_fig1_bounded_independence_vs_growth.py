@@ -70,5 +70,7 @@ def test_fig1_bounded_independence_vs_growth(benchmark):
 
     run_once(
         benchmark,
-        lambda: color_vertices(graphs.clique_with_pendants(CLIQUE_SIZES[-1]), c=2, quality="linear"),
+        lambda: color_vertices(
+            graphs.clique_with_pendants(CLIQUE_SIZES[-1]), c=2, quality="linear"
+        ),
     )

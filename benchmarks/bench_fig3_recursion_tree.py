@@ -70,7 +70,10 @@ def test_fig3_recursion_tree(benchmark):
     )
 
     print_section("Figure 3 -- the Legal-Color recursion tree (one row per level)")
-    print(f"parameters: p={params.p}, b={params.b}, lambda={params.threshold}, Delta(L(G))={line.max_degree}")
+    print(
+        f"parameters: p={params.p}, b={params.b}, "
+        f"lambda={params.threshold}, Delta(L(G))={line.max_degree}"
+    )
     print(
         format_table(
             [

@@ -54,7 +54,9 @@ def _sweep():
 
 def test_randomized_extension(benchmark):
     rows = _sweep()
-    print_section("Theorem 6.1 / Corollary 6.2 -- randomized split + deterministic per-class coloring")
+    print_section(
+        "Theorem 6.1 / Corollary 6.2 -- randomized split + deterministic per-class coloring"
+    )
     print(
         format_table(
             [

@@ -66,7 +66,9 @@ def _sweep():
 def test_table2_randomized_comparison(benchmark):
     rows, new_rounds, luby_rounds = _sweep()
 
-    print_section("Table 2 -- small-Delta regime: randomized baselines vs. the new deterministic algorithm")
+    print_section(
+        "Table 2 -- small-Delta regime: randomized baselines vs. the new deterministic algorithm"
+    )
     print(
         format_table(
             [

@@ -63,7 +63,9 @@ def _hypergraph_row():
 
 def test_vertex_coloring_tradeoff(benchmark):
     rows = _sweep_line_graphs()
-    print_section("Theorem 4.8 -- vertex coloring of bounded-independence graphs (line graphs, c = 2)")
+    print_section(
+        "Theorem 4.8 -- vertex coloring of bounded-independence graphs (line graphs, c = 2)"
+    )
     print(
         format_table(
             [

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare a fresh engine-speedup record against the committed baseline.
+
+The CI perf-regression gate runs the quick-mode engine-speedup benchmark
+(``REPRO_BENCH_QUICK=1 REPRO_BENCH_RECORD=1``), which writes a fresh results
+JSON, and then calls this script to compare it against the committed baseline
+(``benchmarks/results/engine_speedup_quick.json``).  The build fails when any
+engine-relative *speedup ratio* regressed by more than the tolerance
+(default 30%).
+
+Why ratios and not wall times: CI machines differ wildly in absolute speed,
+so comparing seconds across runners would flake constantly.  The speedup of
+one engine over another on the *same* machine in the *same* run cancels the
+machine out -- a >30% drop in ``vectorized/batched`` or
+``batched/reference`` means the faster engine genuinely lost ground relative
+to the slower one, i.e. a real performance regression in the engine the
+ratio's numerator-side measures.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/results/engine_speedup_quick.json \
+        --fresh /tmp/fresh.json [--tolerance 0.30]
+
+Exit status 0 when every ratio is within tolerance, 1 on regression or on a
+structurally incomparable pair of records (no common sizes, missing ratios).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The engine-relative ratios the gate watches (higher is better).
+SPEEDUP_KEYS = (
+    "speedup_batched_over_reference",
+    "speedup_vectorized_over_batched",
+)
+
+
+def load_sizes(path: Path) -> dict:
+    """Map ``(n, degree) -> size row`` from a results record."""
+    record = json.loads(path.read_text())
+    sizes = record.get("sizes")
+    if not isinstance(sizes, list) or not sizes:
+        raise SystemExit(f"{path}: no 'sizes' rows -- not an engine-speedup record")
+    return {(row["n"], row["degree"]): row for row in sizes}
+
+
+def compare(baseline_path: Path, fresh_path: Path, tolerance: float) -> int:
+    baseline = load_sizes(baseline_path)
+    fresh = load_sizes(fresh_path)
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print(
+            f"ERROR: no common (n, degree) sizes between {baseline_path} "
+            f"({sorted(baseline)}) and {fresh_path} ({sorted(fresh)})"
+        )
+        return 1
+
+    failures = 0
+    checks = 0
+    for size in common:
+        base_row, fresh_row = baseline[size], fresh[size]
+        for key in SPEEDUP_KEYS:
+            if key not in base_row:
+                continue
+            if key not in fresh_row:
+                print(f"ERROR: n={size[0]}: fresh record lacks {key}")
+                failures += 1
+                continue
+            base_value = float(base_row[key])
+            fresh_value = float(fresh_row[key])
+            floor = base_value * (1.0 - tolerance)
+            verdict = "ok" if fresh_value >= floor else "REGRESSION"
+            checks += 1
+            print(
+                f"n={size[0]:>7} {key:<34} baseline={base_value:8.2f}x "
+                f"fresh={fresh_value:8.2f}x floor={floor:8.2f}x  {verdict}"
+            )
+            if fresh_value < floor:
+                failures += 1
+        if not fresh_row.get("identical_outputs", False):
+            print(f"ERROR: n={size[0]}: engines no longer produce identical outputs")
+            failures += 1
+
+    if checks == 0:
+        print("ERROR: no comparable speedup ratios found")
+        return 1
+    if failures:
+        print(
+            f"\n{failures} regression(s) beyond the {tolerance:.0%} tolerance; "
+            "if the slowdown is intentional, re-record the baseline with "
+            "REPRO_BENCH_QUICK=1 REPRO_BENCH_RECORD=1 and commit the diff."
+        )
+        return 1
+    print(f"\nAll {checks} speedup ratios within {tolerance:.0%} of the baseline.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args()
+    return compare(args.baseline, args.fresh, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@ Each ``bench_*.py`` file regenerates one evaluation artifact of the paper
 (a table, a figure, or a theorem's quantitative claim): it sweeps the relevant
 parameter, prints the reproduced rows with :func:`repro.analysis.format_table`,
 and wraps one representative instance in ``pytest-benchmark`` so that
-``pytest benchmarks/ --benchmark-only`` both times the implementation and
+``pytest benchmarks/bench_*.py --benchmark-only`` both times the implementation and
 leaves the reproduced artifact in the captured output.
 
 The sweeps themselves run through :class:`repro.experiments.ExperimentRunner`:

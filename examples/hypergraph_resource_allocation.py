@@ -62,7 +62,8 @@ def main() -> None:
     print(f"  schedule length (colors used) : {len(slots)}")
     print(f"  palette bound                 : {result.palette}")
     print(f"  rounds to compute             : {result.metrics.rounds}")
-    print(f"  busiest slot                  : {max(len(jobs) for jobs in slots.values())} jobs in parallel")
+    busiest = max(len(jobs) for jobs in slots.values())
+    print(f"  busiest slot                  : {busiest} jobs in parallel")
     print(f"  sequential schedule length    : {workload.num_edges} (one job at a time)")
 
     # Sanity: no two jobs in the same slot share a resource.

@@ -79,7 +79,9 @@ def main() -> None:
 
     print("\nfirst three slots of the distributed schedule:")
     for slot, edges in list(slots.items())[:3]:
-        rendered = ", ".join(f"{u[1]}->{v[1]}" for u, v in (sorted(edge, key=str) for edge in edges))
+        rendered = ", ".join(
+            f"{u[1]}->{v[1]}" for u, v in (sorted(edge, key=str) for edge in edges)
+        )
         print(f"  slot {slot:3d}: {rendered}")
 
 

@@ -49,21 +49,24 @@ from repro.exceptions import (
 )
 from repro.local_model import (
     BatchedScheduler,
+    FastNetwork,
     Network,
     RunMetrics,
     Scheduler,
+    VectorizedScheduler,
     available_engines,
     make_scheduler,
     set_default_engine,
     use_engine,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchedScheduler",
     "ColoringError",
     "EdgeColoringResult",
+    "FastNetwork",
     "GraphPropertyError",
     "HypergraphError",
     "InvalidParameterError",
@@ -74,6 +77,7 @@ __all__ = [
     "RunMetrics",
     "Scheduler",
     "SimulationError",
+    "VectorizedScheduler",
     "__version__",
     "analysis",
     "available_engines",

@@ -29,14 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 from repro.local_model.algorithm import SILENT, BroadcastPhase, LocalView, PhasePipeline
+from repro.local_model.batched import NetworkLike
 from repro.local_model.engine import make_scheduler
+from repro.local_model.fast_network import fast_view
 from repro.local_model.metrics import RunMetrics
-from repro.local_model.network import Network
+from repro.local_model.vectorized import VectorContext
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
 from repro.primitives.kuhn_defective_edge import KuhnDefectiveEdgeColoringPhase
-from repro.primitives.numbers import ceil_div
 
 
 @dataclass(frozen=True)
@@ -154,6 +157,63 @@ class PsiSelectionPhase(BroadcastPhase):
         minimum = min(counts)
         state["_psi_selected"] = counts.index(minimum) + 1
 
+    # ------------------------------------------------------------------ #
+    # Vectorized execution (see repro.local_model.vectorized)
+    # ------------------------------------------------------------------ #
+
+    #: Marker the vectorized scheduler checks to run the numpy kernel.
+    supports_vectorized: bool = True
+
+    def vector_run(self, ctx: VectorContext) -> None:
+        """The whole phase as array arithmetic; bit-identical to the callbacks.
+
+        The round-by-round loop has a closed form: a vertex selects once all
+        neighbors with a smaller ``phi``-color have announced, so processing
+        vertices in ascending ``phi`` order replays every selection with its
+        exact final counts.  The announcement round of ``v`` is
+        ``depth(v) + 2`` where ``depth`` is the longest strictly-decreasing
+        ``phi``-chain below ``v``, which yields the exact round count; every
+        vertex broadcasts its ``phi`` once (round 1, a 2-word dict) and its
+        ``psi`` once (its announcement round, a 2-word dict), which yields
+        the exact message metrics.
+        """
+        fast = ctx.fast
+        n = fast.num_nodes
+        p = self.p
+        phi = ctx.column(self.phi_key)
+
+        depth = np.zeros(n, dtype=np.int64)
+        psi = np.zeros(n, dtype=np.int64)
+        counts = np.zeros((n, p), dtype=np.int64)
+        for value in np.unique(phi):
+            batch = np.flatnonzero(phi == value)
+            local_rows, neighbors = ctx.gather_neighbors(batch)
+            lower = phi[neighbors] < value
+            sources = local_rows[lower]
+            lower_neighbors = neighbors[lower]
+            batch_depth = np.zeros(batch.size, dtype=np.int64)
+            np.maximum.at(batch_depth, sources, depth[lower_neighbors] + 1)
+            depth[batch] = batch_depth
+            batch_counts = np.bincount(
+                sources * p + (psi[lower_neighbors] - 1), minlength=batch.size * p
+            ).reshape(batch.size, p)
+            counts[batch] = batch_counts
+            psi[batch] = np.argmin(batch_counts, axis=1) + 1
+
+        nnz = len(fast.indices)
+        ctx.charge(
+            rounds=int(depth.max()) + 2,
+            messages=2 * nnz,
+            total_words=4 * nnz,
+            max_message_words=2 if nnz else 0,
+        )
+        ctx.write_column(self.output_key, psi)
+        ctx.write_column("_psi_selected", psi)
+        ctx.write_value("_psi_announced", True)
+        for state, row in zip(ctx.states, counts.tolist()):
+            state["_psi_counts"] = row
+            state["_psi_waiting"] = set()
+
 
 def defective_color_pipeline(
     n: int,
@@ -250,7 +310,7 @@ def defective_color_pipeline(
 
 
 def run_defective_color(
-    network: Network,
+    network: NetworkLike,
     b: int,
     p: int,
     c: int,
@@ -260,11 +320,14 @@ def run_defective_color(
 ) -> Tuple[Dict[Hashable, int], DefectiveColorInfo, RunMetrics]:
     """Convenience wrapper: run Procedure Defective-Color on a whole network.
 
+    ``network`` may be a :class:`~repro.local_model.network.Network` or a
+    (possibly CSR-masked) :class:`~repro.local_model.fast_network.FastNetwork`.
     Returns the ``psi``-coloring (a mapping from node to a color in
     ``{1, ..., p}``), the static guarantees, and the measured metrics.
     ``engine`` selects the execution path (see
     :mod:`repro.local_model.engine`).
     """
+    network = fast_view(network)
     if Lambda is None:
         Lambda = max(1, network.max_degree)
     pipeline, info = defective_color_pipeline(

@@ -31,12 +31,15 @@ on ``Delta``, not on ``n``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.batched import NetworkLike
 from repro.local_model.engine import make_scheduler
+from repro.local_model.fast_network import FastNetwork, fast_view
 from repro.local_model.metrics import RunMetrics
-from repro.local_model.network import Network
 from repro.core.defective_coloring import defective_color_pipeline
 from repro.core.parameters import (
     LegalColorParameters,
@@ -120,8 +123,30 @@ class LegalColoringResult:
         return len(set(self.colors.values()))
 
 
+def _path_filtered(
+    fast: FastNetwork, states: Dict[Hashable, Dict[str, Any]]
+) -> FastNetwork:
+    """The CSR-masked sub-view keeping only edges within one recursion path.
+
+    Vertices carry their recursion path (the sequence of ``psi``-colors
+    received so far) in ``state["_path"]``; two vertices belong to the same
+    current subgraph exactly when their paths are equal.  Paths are interned
+    into dense integer labels so the edge mask is one vectorized comparison
+    -- no per-edge Python callback and no :class:`Network` rebuild.
+    """
+    label_of: Dict[Any, int] = {}
+    labels = np.empty(fast.num_nodes, dtype=np.int64)
+    for i, node in enumerate(fast.order):
+        path = states[node]["_path"]
+        label = label_of.get(path)
+        if label is None:
+            label = label_of[path] = len(label_of)
+        labels[i] = label
+    return fast.filtered_by_labels(labels)
+
+
 def run_legal_coloring(
-    network: Network,
+    network: NetworkLike,
     params: LegalColorParameters,
     c: int,
     degree_bound: Optional[int] = None,
@@ -134,8 +159,11 @@ def run_legal_coloring(
     Parameters
     ----------
     network:
-        The graph to color.  In ``edge_mode`` this must be a line-graph
-        network (node identifiers are edge 2-tuples), as produced by
+        The graph to color -- a :class:`~repro.local_model.network.Network`
+        or a (possibly CSR-masked)
+        :class:`~repro.local_model.fast_network.FastNetwork`.  In
+        ``edge_mode`` this must be a line-graph network (node identifiers are
+        edge 2-tuples), as produced by
         :func:`repro.graphs.line_graph.build_line_graph_network`.
     params:
         The ``(b, p, lambda)`` preset (see :mod:`repro.core.parameters`).
@@ -169,7 +197,8 @@ def run_legal_coloring(
         return LegalColoringResult(
             colors={}, palette=1, metrics=RunMetrics(), parameters=params
         )
-    delta = network.max_degree
+    fast = fast_view(network)
+    delta = fast.max_degree
     if degree_bound is None:
         degree_bound = max(1, delta)
     if degree_bound < delta:
@@ -180,7 +209,7 @@ def run_legal_coloring(
 
     metrics = RunMetrics()
     states: Dict[Hashable, Dict[str, Any]] = {
-        node: {"_path": ()} for node in network.nodes()
+        node: {"_path": ()} for node in fast.nodes()
     }
 
     # ------------------------------------------------------------------ #
@@ -188,13 +217,13 @@ def run_legal_coloring(
     # ------------------------------------------------------------------ #
     auxiliary_key: Optional[str] = None
     auxiliary_palette: Optional[int] = None
-    if use_auxiliary_coloring and network.num_nodes > 0:
+    if use_auxiliary_coloring and fast.num_nodes > 0:
         aux_phase = LinialColoringPhase(
             degree_bound=max(1, delta),
-            initial_palette=network.num_nodes,
+            initial_palette=fast.num_nodes,
             output_key="_aux_rho",
         )
-        aux_result = make_scheduler(network, engine=engine).run(
+        aux_result = make_scheduler(fast, engine=engine).run(
             aux_phase, initial_states=states
         )
         states = aux_result.states
@@ -204,7 +233,7 @@ def run_legal_coloring(
 
     # ------------------------------------------------------------------ #
     # Recursion levels (executed iteratively; all subgraphs of a level run in
-    # parallel on the path-filtered network).
+    # parallel on the path-filtered CSR view of the network).
     # ------------------------------------------------------------------ #
     levels: List[LevelTrace] = []
     current_bound = degree_bound
@@ -213,12 +242,10 @@ def run_legal_coloring(
         if params.b * params.p > current_bound or params.p < 2:
             break  # Parameters no longer valid at this degree scale; bottom out.
 
-        filtered = network.filtered_by_edge(
-            lambda u, v: states[u]["_path"] == states[v]["_path"]
-        )
+        filtered = _path_filtered(fast, states)
         psi_key = f"_psi_{level}"
         pipeline, info = defective_color_pipeline(
-            n=network.num_nodes,
+            n=fast.num_nodes,
             b=params.b,
             p=params.p,
             Lambda=current_bound,
@@ -235,7 +262,7 @@ def run_legal_coloring(
         states = result.states
         metrics.merge(result.metrics)
 
-        for node in network.nodes():
+        for node in fast.nodes():
             states[node]["_path"] = states[node]["_path"] + (states[node][psi_key],)
 
         next_bound = info.psi_defect_bound
@@ -245,7 +272,7 @@ def run_legal_coloring(
                 degree_bound=current_bound,
                 phi_palette=info.phi_palette,
                 next_degree_bound=next_bound,
-                num_subgraphs=len({states[node]["_path"] for node in network.nodes()}),
+                num_subgraphs=len({states[node]["_path"] for node in fast.nodes()}),
                 max_subgraph_degree=filtered.max_degree,
                 rounds=result.metrics.rounds,
             )
@@ -260,20 +287,18 @@ def run_legal_coloring(
     # ------------------------------------------------------------------ #
     # Bottom level: a legal (Lambda + 1)-coloring of every remaining subgraph.
     # ------------------------------------------------------------------ #
-    bottom_filtered = network.filtered_by_edge(
-        lambda u, v: states[u]["_path"] == states[v]["_path"]
-    )
+    bottom_filtered = _path_filtered(fast, states)
     bottom_bound = max(current_bound, bottom_filtered.max_degree)
     bottom_target = bottom_bound + 1
     bottom_pipeline, _ = delta_plus_one_pipeline(
-        n=network.num_nodes,
+        n=fast.num_nodes,
         degree_bound=bottom_bound,
         initial_palette=auxiliary_palette,
         input_key=auxiliary_key,
         output_key="_bottom_color",
         target=bottom_target,
     )
-    if network.num_nodes > 0:
+    if fast.num_nodes > 0:
         bottom_result = make_scheduler(bottom_filtered, engine=engine).run(
             bottom_pipeline, initial_states=states
         )
@@ -291,7 +316,7 @@ def run_legal_coloring(
     palette = theta[0] if num_levels > 0 else bottom_target
 
     colors: Dict[Hashable, int] = {}
-    for node in network.nodes():
+    for node in fast.nodes():
         color = states[node]["_bottom_color"]
         for j in range(num_levels):
             color += (states[node][f"_psi_{j}"] - 1) * theta[j + 1]
@@ -308,7 +333,7 @@ def run_legal_coloring(
 
 
 def color_vertices(
-    network: Network,
+    network: NetworkLike,
     c: int,
     quality: str = "linear",
     epsilon: float = 0.75,

@@ -18,11 +18,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Optional
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.batched import NetworkLike
+from repro.local_model.fast_network import FastNetwork, fast_view
 from repro.local_model.metrics import PhaseMetrics, RunMetrics
-from repro.local_model.network import Network
 from repro.core.legal_coloring import LegalColoringResult, run_legal_coloring
 from repro.core.parameters import LegalColorParameters, params_for_few_rounds
 
@@ -62,7 +65,7 @@ class RandomizedColoringResult:
 
 
 def randomized_color_vertices(
-    network: Network,
+    network: NetworkLike,
     c: int,
     seed: int = 0,
     parameters: Optional[LegalColorParameters] = None,
@@ -84,8 +87,9 @@ def randomized_color_vertices(
     """
     if c < 1:
         raise InvalidParameterError("c must be at least 1")
-    n = max(2, network.num_nodes)
-    delta = network.max_degree
+    fast = fast_view(network)
+    n = max(2, fast.num_nodes)
+    delta = fast.max_degree
     log_n = max(1, math.ceil(math.log2(n)))
 
     metrics = RunMetrics()
@@ -93,28 +97,31 @@ def randomized_color_vertices(
     if use_split:
         num_classes = max(2, math.ceil(delta / log_n))
         assignment: Dict[Hashable, int] = {}
-        for node in network.nodes():
-            rng = random.Random(f"{seed}:{network.unique_id(node)}")
+        for node in fast.nodes():
+            rng = random.Random(f"{seed}:{fast.unique_id(node)}")
             assignment[node] = rng.randint(1, num_classes)
         # One round: every vertex announces its class to its neighbors.
         metrics.add_phase(
             PhaseMetrics(
                 name="random-split",
                 rounds=1,
-                messages=2 * network.num_edges,
-                total_words=2 * network.num_edges,
+                messages=2 * fast.num_edges,
+                total_words=2 * fast.num_edges,
                 max_message_words=1,
             )
         )
-        split_defect = _intra_class_defect(network, assignment)
-        class_network = network.filtered_by_edge(
-            lambda u, v: assignment[u] == assignment[v]
+        split_defect = _intra_class_defect(fast, assignment)
+        labels = np.fromiter(
+            (assignment[node] for node in fast.order),
+            dtype=np.int64,
+            count=fast.num_nodes,
         )
+        class_network = fast.filtered_by_labels(labels)
     else:
         num_classes = 1
-        assignment = {node: 1 for node in network.nodes()}
+        assignment = {node: 1 for node in fast.nodes()}
         split_defect = delta
-        class_network = network
+        class_network = fast
 
     class_delta = max(1, class_network.max_degree)
     params = parameters or params_for_few_rounds(class_delta, c)
@@ -126,7 +133,7 @@ def randomized_color_vertices(
     per_class_palette = per_class.palette
     colors = {
         node: (assignment[node] - 1) * per_class_palette + per_class.colors[node]
-        for node in network.nodes()
+        for node in fast.nodes()
     }
     return RandomizedColoringResult(
         colors=colors,
@@ -140,12 +147,14 @@ def randomized_color_vertices(
     )
 
 
-def _intra_class_defect(network: Network, assignment: Dict[Hashable, int]) -> int:
+def _intra_class_defect(fast: FastNetwork, assignment: Dict[Hashable, int]) -> int:
     """The maximum number of same-class neighbors over all vertices."""
     worst = 0
-    for node in network.nodes():
+    for i, node in enumerate(fast.order):
         same = sum(
-            1 for neighbor in network.neighbors(node) if assignment[neighbor] == assignment[node]
+            1
+            for neighbor in fast.neighbor_ids[i]
+            if assignment[neighbor] == assignment[node]
         )
         worst = max(worst, same)
     return worst

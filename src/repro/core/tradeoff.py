@@ -11,14 +11,16 @@ whose running time depends only on the (much smaller) subgraph degree.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
+from repro.local_model.batched import NetworkLike
 from repro.local_model.engine import make_scheduler
+from repro.local_model.fast_network import fast_view
 from repro.local_model.metrics import RunMetrics
-from repro.local_model.network import Network
 from repro.core.legal_coloring import LegalColoringResult, run_legal_coloring
 from repro.core.parameters import LegalColorParameters, params_for_few_rounds
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
@@ -53,7 +55,7 @@ class TradeoffColoringResult:
 
 
 def tradeoff_color_vertices(
-    network: Network,
+    network: NetworkLike,
     c: int,
     g: Callable[[int], float],
     eta: float = 0.5,
@@ -80,7 +82,8 @@ def tradeoff_color_vertices(
         raise InvalidParameterError("c must be at least 1")
     if not 0 < eta < 1:
         raise InvalidParameterError("eta must lie in (0, 1)")
-    delta = max(1, network.max_degree)
+    fast = fast_view(network)
+    delta = max(1, fast.max_degree)
 
     g_value = float(g(delta))
     if g_value < 1:
@@ -92,22 +95,25 @@ def tradeoff_color_vertices(
     metrics = RunMetrics()
     if p_split > 1:
         pipeline, split_palette = defective_coloring_pipeline(
-            n=network.num_nodes,
+            n=fast.num_nodes,
             degree_bound=delta,
             target_defect=target_defect,
             output_key="_tradeoff_split",
         )
-        result = make_scheduler(network, engine=engine).run(pipeline)
+        result = make_scheduler(fast, engine=engine).run(pipeline)
         metrics.merge(result.metrics)
         assignment = result.extract("_tradeoff_split")
-        class_network = network.filtered_by_edge(
-            lambda u, v: assignment[u] == assignment[v]
+        labels = np.fromiter(
+            (assignment[node] for node in fast.order),
+            dtype=np.int64,
+            count=fast.num_nodes,
         )
+        class_network = fast.filtered_by_labels(labels)
         split_defect_bound = target_defect
     else:
         split_palette = 1
-        assignment = {node: 1 for node in network.nodes()}
-        class_network = network
+        assignment = {node: 1 for node in fast.nodes()}
+        class_network = fast
         split_defect_bound = delta
 
     class_delta = max(1, class_network.max_degree)
@@ -120,7 +126,7 @@ def tradeoff_color_vertices(
     per_class_palette = per_class.palette
     colors = {
         node: (assignment[node] - 1) * per_class_palette + per_class.colors[node]
-        for node in network.nodes()
+        for node in fast.nodes()
     }
     return TradeoffColoringResult(
         colors=colors,

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.engine import resolve_engine
 from repro.local_model.network import Network
 
 # --------------------------------------------------------------------------- #
@@ -180,6 +181,14 @@ class Scenario:
     ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so the
     scenario is hashable and its cache key is order-independent; use
     :meth:`make` to build one from a plain dict.
+
+    ``engine`` is always a *concrete* engine name: :meth:`make` and
+    :meth:`with_engine` resolve ``None`` to the process default immediately,
+    and :meth:`key` resolves defensively for directly constructed instances.
+    Cache entries therefore always record which engine actually computed
+    them -- a ``"vectorized"`` result can never be served for a ``"batched"``
+    request (or vice versa), and a result computed under one process default
+    can never alias a run under another.
     """
 
     name: str
@@ -196,23 +205,28 @@ class Scenario:
         graph: GraphSpec,
         algorithm: str,
         params: Optional[Mapping[str, Any]] = None,
-        engine: str = "batched",
+        engine: Optional[str] = "batched",
         capture_colors: bool = False,
     ) -> "Scenario":
-        """Build a scenario from a plain parameter mapping."""
+        """Build a scenario from a plain parameter mapping.
+
+        ``engine=None`` selects the current process default, resolved to its
+        concrete name *now* so the scenario's cache identity cannot drift
+        with later default changes.
+        """
         pairs = tuple(sorted((params or {}).items()))
         return cls(
             name=name,
             graph=graph,
             algorithm=algorithm,
             params=pairs,
-            engine=engine,
+            engine=resolve_engine(engine),
             capture_colors=capture_colors,
         )
 
-    def with_engine(self, engine: str) -> "Scenario":
+    def with_engine(self, engine: Optional[str]) -> "Scenario":
         """A copy of this scenario pinned to another engine."""
-        return replace(self, engine=engine)
+        return replace(self, engine=resolve_engine(engine))
 
     @property
     def params_dict(self) -> Dict[str, Any]:
@@ -222,13 +236,15 @@ class Scenario:
         """The canonical identity of this scenario (JSON-ready).
 
         ``name`` is presentation-only and deliberately excluded, so renaming a
-        scenario does not invalidate its cached result.
+        scenario does not invalidate its cached result.  The engine is part
+        of the key (resolved to a concrete name), so results from different
+        engines can never collide in the cache.
         """
         return {
             "graph": self.graph.key(),
             "algorithm": self.algorithm,
             "params": [list(pair) for pair in self.params],
-            "engine": self.engine,
+            "engine": resolve_engine(self.engine),
             "capture_colors": self.capture_colors,
         }
 

@@ -18,7 +18,6 @@ runs are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 import networkx as nx
 

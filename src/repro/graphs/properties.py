@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Tuple
+from typing import Hashable, Iterable, List, Tuple
 
 from repro.local_model.network import Network
 

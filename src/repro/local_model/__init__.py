@@ -15,7 +15,11 @@ The main entry points are:
   round and accumulates :class:`~repro.local_model.metrics.RunMetrics`,
 * :class:`~repro.local_model.batched.BatchedScheduler` -- the batched round
   engine, a drop-in replacement producing bit-identical results over a flat
-  CSR representation (select either via
+  CSR representation (the process default),
+* :class:`~repro.local_model.vectorized.VectorizedScheduler` -- the
+  vectorized color-phase engine: declared pure-color phases run as numpy
+  kernels over the CSR arrays, everything else falls back to the batched
+  path (select any engine via
   :func:`~repro.local_model.engine.make_scheduler` / ``engine=`` arguments),
 * :func:`~repro.local_model.line_graph_sim.simulate_on_line_graph` -- the
   Lemma 5.2 simulation of an algorithm for ``L(G)`` on the network ``G``.
@@ -28,7 +32,7 @@ from repro.local_model.algorithm import (
     PhasePipeline,
     SynchronousPhase,
 )
-from repro.local_model.batched import BatchedScheduler
+from repro.local_model.batched import BatchedScheduler, NetworkLike
 from repro.local_model.engine import (
     available_engines,
     default_engine,
@@ -43,6 +47,7 @@ from repro.local_model.metrics import RunMetrics
 from repro.local_model.network import Network, node_sort_key
 from repro.local_model.node import Node
 from repro.local_model.scheduler import PhaseResult, Scheduler
+from repro.local_model.vectorized import VectorContext, VectorizedScheduler
 from repro.local_model.line_graph_sim import LineGraphSimulationResult, simulate_on_line_graph
 
 __all__ = [
@@ -54,12 +59,15 @@ __all__ = [
     "LocalView",
     "Message",
     "Network",
+    "NetworkLike",
     "Node",
     "PhasePipeline",
     "PhaseResult",
     "RunMetrics",
     "Scheduler",
     "SynchronousPhase",
+    "VectorContext",
+    "VectorizedScheduler",
     "available_engines",
     "default_engine",
     "fast_view",

@@ -43,6 +43,10 @@ from repro.local_model.metrics import PhaseMetrics, RunMetrics
 from repro.local_model.network import Network
 from repro.local_model.scheduler import PhaseResult
 
+#: Schedulers accept either representation; a FastNetwork is used as-is, so
+#: CSR-masked sub-networks (FastNetwork.filtered) run without any rebuild.
+NetworkLike = Union[Network, FastNetwork]
+
 #: Payload types whose size is one word by definition (the common case for
 #: broadcast phases, which announce a single color); checked by exact class so
 #: the fallback to :func:`payload_size_words` stays authoritative.
@@ -55,7 +59,8 @@ class BatchedScheduler:
     Parameters are identical to :class:`~repro.local_model.scheduler.Scheduler`:
 
     network:
-        The communication graph.
+        The communication graph -- a :class:`Network` or a (possibly
+        CSR-masked) :class:`FastNetwork`.
     globals_extra:
         Additional globally known values exposed to every node's
         :class:`~repro.local_model.algorithm.LocalView`.
@@ -65,15 +70,14 @@ class BatchedScheduler:
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkLike,
         globals_extra: Optional[Mapping[str, Any]] = None,
         round_limit_factor: int = 1,
     ) -> None:
-        self.network = network
         self._fast: FastNetwork = fast_view(network)
         self._globals: Dict[str, Any] = {
-            "n": network.num_nodes,
-            "max_degree": network.max_degree,
+            "n": self._fast.num_nodes,
+            "max_degree": self._fast.max_degree,
         }
         if globals_extra:
             self._globals.update(globals_extra)
@@ -84,6 +88,17 @@ class BatchedScheduler:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+
+    @property
+    def network(self) -> Network:
+        """The :class:`Network` this scheduler runs on.
+
+        For a scheduler constructed from a CSR-masked
+        :class:`~repro.local_model.fast_network.FastNetwork` the network is
+        materialized (and cached) on first access; execution itself never
+        needs it.
+        """
+        return self._fast.to_network()
 
     def run(
         self,
@@ -166,7 +181,7 @@ class BatchedScheduler:
             return phase_metrics
 
         round_limit = self._round_limit_factor * phase.max_rounds(
-            self.network.num_nodes, self.network.max_degree
+            fast.num_nodes, fast.max_degree
         )
 
         # Per-phase flat structures: one reusable inbox dictionary per node

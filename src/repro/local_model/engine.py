@@ -1,15 +1,21 @@
-"""Engine selection: the reference scheduler vs. the batched round engine.
+"""Engine selection: reference scheduler, batched engine, vectorized engine.
 
-The package ships two interchangeable execution paths for synchronous phases:
+The package ships three interchangeable execution paths for synchronous
+phases:
 
 * ``"reference"`` -- :class:`~repro.local_model.scheduler.Scheduler`, the
   direct transcription of the paper's model (one message object at a time,
   per-round validation).  Maximally transparent; use it when debugging a
   phase or when exactness of the *simulation* itself is under scrutiny.
 * ``"batched"`` -- :class:`~repro.local_model.batched.BatchedScheduler`, the
-  flat-array engine.  Produces bit-identical states and metrics (enforced by
-  ``tests/test_engine_equivalence.py``) at a fraction of the cost; use it for
-  benchmarks, sweeps and anything beyond toy sizes.
+  flat-array engine (the process-wide default).  Produces bit-identical
+  states and metrics (enforced by ``tests/test_engine_equivalence.py``) at a
+  fraction of the cost.
+* ``"vectorized"`` -- :class:`~repro.local_model.vectorized.VectorizedScheduler`,
+  which additionally executes the pure-color phases (Linial recoloring, the
+  color reductions, the defective polynomial steps, ``psi``-selection) as
+  numpy kernels over the CSR arrays, falling back to the batched path per
+  phase for everything else.  Use it for large instances.
 
 Every high-level algorithm (``run_legal_coloring``, ``color_edges``, ...)
 accepts an ``engine`` argument that is resolved here; ``None`` falls back to
@@ -24,19 +30,21 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 
 from repro.exceptions import InvalidParameterError
-from repro.local_model.batched import BatchedScheduler
-from repro.local_model.network import Network
+from repro.local_model.batched import BatchedScheduler, NetworkLike
+from repro.local_model.fast_network import FastNetwork
 from repro.local_model.scheduler import Scheduler
+from repro.local_model.vectorized import VectorizedScheduler
 
-#: Either scheduler class satisfies the same constructor / ``run`` protocol.
+#: Any scheduler class satisfies the same constructor / ``run`` protocol.
 SchedulerLike = Union[Scheduler, BatchedScheduler]
 
 _ENGINES: Dict[str, Callable[..., SchedulerLike]] = {
     "reference": Scheduler,
     "batched": BatchedScheduler,
+    "vectorized": VectorizedScheduler,
 }
 
-_default_engine: str = "reference"
+_default_engine: str = "batched"
 
 
 def available_engines() -> tuple:
@@ -60,7 +68,7 @@ def default_engine() -> str:
 
 
 def set_default_engine(engine: str) -> None:
-    """Set the process-wide default engine (``"reference"`` or ``"batched"``)."""
+    """Set the process-wide default engine (any of :func:`available_engines`)."""
     global _default_engine
     _default_engine = resolve_engine(engine)
 
@@ -78,7 +86,7 @@ def use_engine(engine: str) -> Iterator[str]:
 
 
 def make_scheduler(
-    network: Network,
+    network: NetworkLike,
     engine: Optional[str] = None,
     globals_extra: Optional[Mapping[str, Any]] = None,
     round_limit_factor: int = 1,
@@ -86,9 +94,17 @@ def make_scheduler(
     """Instantiate the scheduler for ``engine`` (default: the process default).
 
     This is the single seam through which all core algorithms obtain their
-    executor, so every algorithm runs unchanged on either path.
+    executor, so every algorithm runs unchanged on every path.  ``network``
+    may be a :class:`~repro.local_model.network.Network` or a (possibly
+    CSR-masked) :class:`~repro.local_model.fast_network.FastNetwork`; the
+    reference engine materializes the latter into the identical
+    :class:`~repro.local_model.network.Network` on demand, so filtered views
+    remain fully auditable.
     """
-    factory = _ENGINES[resolve_engine(engine)]
+    name = resolve_engine(engine)
+    if name == "reference" and isinstance(network, FastNetwork):
+        network = network.to_network()
+    factory = _ENGINES[name]
     return factory(
         network,
         globals_extra=globals_extra,

@@ -10,14 +10,45 @@ per-node neighbor-identifier sets give ``O(1)`` message validation.  The
 compiled form is cached on the network (networks are immutable once
 constructed), so repeated runs -- e.g. the per-level invocations of Procedure
 Legal-Color -- pay the compilation cost only once.
+
+Two further capabilities sit on top of the CSR representation:
+
+* **numpy mirrors** (:attr:`FastNetwork.indptr_np`, :attr:`~FastNetwork.indices_np`,
+  :attr:`~FastNetwork.rows_np`, ...) -- zero-copy ``int64`` views of the CSR
+  arrays, the substrate of the vectorized execution engine
+  (:mod:`repro.local_model.vectorized`);
+* **CSR masking** (:meth:`FastNetwork.filtered` /
+  :meth:`~FastNetwork.filtered_by_labels`) -- derive the sub-network of a
+  recursion level directly at the array level, without rebuilding a
+  :class:`Network` (no re-sorting, no set-based deduplication).  The
+  reference engine can still audit such a derived view through
+  :meth:`FastNetwork.to_network`, which materializes the identical
+  :class:`Network` on demand.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
 from repro.local_model.network import Network
+
+
+def _int64_view(values: array) -> np.ndarray:
+    """A zero-copy ``int64`` numpy view of an ``array('q')``."""
+    if len(values) == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.frombuffer(values, dtype=np.int64)
+
+
+def _int64_array(values: np.ndarray) -> array:
+    """An ``array('q')`` holding the same integers as ``values``."""
+    out = array("q")
+    out.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+    return out
 
 
 class FastNetwork:
@@ -25,6 +56,10 @@ class FastNetwork:
 
     Attributes
     ----------
+    network:
+        The :class:`Network` this view was compiled from, or ``None`` for a
+        derived (filtered) view that has not been materialized yet (see
+        :meth:`to_network`).
     order:
         Node identifiers in the network's deterministic order; position in
         this tuple is the node's dense index.
@@ -58,9 +93,13 @@ class FastNetwork:
         "degrees",
         "num_nodes",
         "max_degree",
+        "_np_cache",
     )
 
-    def __init__(self, network: Network) -> None:
+    def __init__(self, network: Optional[Network]) -> None:
+        self._np_cache: Dict[str, np.ndarray] = {}
+        if network is None:
+            return  # Fields are filled in by _from_csr.
         self.network = network
         order: Tuple[Hashable, ...] = network.nodes()
         self.order = order
@@ -90,20 +129,215 @@ class FastNetwork:
         self.neighbor_id_sets = tuple(neighbor_id_sets)
         self.degrees = degrees
 
+    # ------------------------------------------------------------------ #
+    # Basic accessors (duck-typed with Network where algorithms need it)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (half the number of CSR entries)."""
+        return len(self.indices) // 2
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """All node identifiers in deterministic order (same as ``order``)."""
+        return self.order
+
+    def unique_id(self, node: Hashable) -> int:
+        """The distinct identity number of ``node``."""
+        return self.unique_ids[self.index_of[node]]
+
     def neighbor_indices(self, i: int) -> array:
         """Dense neighbor indices of node ``i`` (a zero-copy CSR slice)."""
         return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    # ------------------------------------------------------------------ #
+    # Numpy mirrors (lazy, cached; the substrate of the vectorized engine)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def indptr_np(self) -> np.ndarray:
+        """``indptr`` as an ``int64`` numpy array (zero-copy, cached)."""
+        cached = self._np_cache.get("indptr")
+        if cached is None:
+            cached = self._np_cache["indptr"] = _int64_view(self.indptr)
+        return cached
+
+    @property
+    def indices_np(self) -> np.ndarray:
+        """``indices`` as an ``int64`` numpy array (zero-copy, cached)."""
+        cached = self._np_cache.get("indices")
+        if cached is None:
+            cached = self._np_cache["indices"] = _int64_view(self.indices)
+        return cached
+
+    @property
+    def degrees_np(self) -> np.ndarray:
+        """``degrees`` as an ``int64`` numpy array (zero-copy, cached)."""
+        cached = self._np_cache.get("degrees")
+        if cached is None:
+            cached = self._np_cache["degrees"] = _int64_view(self.degrees)
+        return cached
+
+    @property
+    def unique_ids_np(self) -> np.ndarray:
+        """``unique_ids`` as an ``int64`` numpy array (zero-copy, cached)."""
+        cached = self._np_cache.get("unique_ids")
+        if cached is None:
+            cached = self._np_cache["unique_ids"] = _int64_view(self.unique_ids)
+        return cached
+
+    @property
+    def rows_np(self) -> np.ndarray:
+        """``rows_np[e]`` is the *source* node of CSR entry ``e`` (cached).
+
+        Together with ``indices_np`` this lists every directed edge
+        ``rows_np[e] -> indices_np[e]``; each undirected edge appears twice.
+        """
+        cached = self._np_cache.get("rows")
+        if cached is None:
+            cached = self._np_cache["rows"] = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), self.degrees_np
+            )
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # CSR masking: derived sub-networks without Network rebuilds
+    # ------------------------------------------------------------------ #
+
+    def filtered(
+        self,
+        edge_mask: Optional[np.ndarray] = None,
+        node_mask: Optional[np.ndarray] = None,
+    ) -> "FastNetwork":
+        """A spanning sub-view keeping only the unmasked edges.
+
+        Parameters
+        ----------
+        edge_mask:
+            Boolean array over the CSR entries (length ``len(indices)``);
+            entry ``e`` keeps the directed edge ``rows_np[e] -> indices_np[e]``.
+            The mask must be symmetric (both directions of an undirected edge
+            kept or dropped together), which every equality-based mask is.
+        node_mask:
+            Boolean array over the nodes (length ``num_nodes``); an edge
+            survives only if *both* endpoints are unmasked.  All nodes are
+            preserved in the result (masked-out nodes become isolated),
+            matching :meth:`Network.filtered_by_edge`'s spanning-subgraph
+            semantics, which is what the "run all subgraphs of a recursion
+            level in parallel" execution requires.
+
+        Returns
+        -------
+        FastNetwork
+            A derived view sharing ``order`` / ``index_of`` / ``unique_ids``
+            with this one.  Its ``network`` attribute is ``None`` until
+            :meth:`to_network` materializes it.
+        """
+        if edge_mask is None and node_mask is None:
+            raise InvalidParameterError("filtered() requires edge_mask or node_mask")
+        keep = None
+        if edge_mask is not None:
+            keep = np.asarray(edge_mask, dtype=bool)
+            if keep.shape != (len(self.indices),):
+                raise InvalidParameterError(
+                    f"edge_mask must have one entry per CSR slot "
+                    f"({len(self.indices)}), got shape {keep.shape}"
+                )
+        if node_mask is not None:
+            nodes_kept = np.asarray(node_mask, dtype=bool)
+            if nodes_kept.shape != (self.num_nodes,):
+                raise InvalidParameterError(
+                    f"node_mask must have one entry per node "
+                    f"({self.num_nodes}), got shape {nodes_kept.shape}"
+                )
+            endpoint_keep = nodes_kept[self.rows_np] & nodes_kept[self.indices_np]
+            keep = endpoint_keep if keep is None else (keep & endpoint_keep)
+        return self._masked(keep)
+
+    def filtered_by_labels(self, labels: np.ndarray) -> "FastNetwork":
+        """Keep exactly the edges whose endpoints carry equal labels.
+
+        This is the CSR form of the Legal-Color recursion step: vertices with
+        equal recursion paths stay connected, edges crossing between classes
+        are dropped.  ``labels`` is any integer array of length ``num_nodes``.
+        """
+        labels = np.asarray(labels)
+        if labels.shape != (self.num_nodes,):
+            raise InvalidParameterError(
+                f"labels must have one entry per node ({self.num_nodes}), "
+                f"got shape {labels.shape}"
+            )
+        return self._masked(labels[self.rows_np] == labels[self.indices_np])
+
+    def _masked(self, keep: np.ndarray) -> "FastNetwork":
+        """Build the derived view for a per-CSR-entry boolean mask."""
+        derived = FastNetwork(None)
+        derived.network = None
+        derived.order = self.order
+        derived.index_of = self.index_of
+        derived.unique_ids = self.unique_ids
+        derived.num_nodes = self.num_nodes
+
+        new_indices = self.indices_np[keep]
+        new_degrees = np.bincount(
+            self.rows_np[keep], minlength=self.num_nodes
+        ).astype(np.int64)
+        new_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(new_degrees, out=new_indptr[1:])
+
+        derived.indices = _int64_array(new_indices)
+        derived.indptr = _int64_array(new_indptr)
+        derived.degrees = _int64_array(new_degrees)
+        derived.max_degree = int(new_degrees.max()) if self.num_nodes else 0
+
+        order = self.order
+        neighbor_ids = []
+        neighbor_id_sets = []
+        position = 0
+        for degree in new_degrees:
+            neighbors = tuple(
+                order[j] for j in new_indices[position : position + degree]
+            )
+            neighbor_ids.append(neighbors)
+            neighbor_id_sets.append(frozenset(neighbors))
+            position += degree
+        derived.neighbor_ids = tuple(neighbor_ids)
+        derived.neighbor_id_sets = tuple(neighbor_id_sets)
+        return derived
+
+    def to_network(self) -> Network:
+        """The :class:`Network` with exactly this adjacency (cached).
+
+        For a view compiled from a network this is that network; for a
+        derived (filtered) view the network is materialized on first use --
+        the reference engine audits filtered runs through this path.  The
+        materialized network is identical (same node order, same neighbor
+        order, same unique identifiers) to the one
+        :meth:`Network.filtered_by_edge` would have produced, because both
+        orders are determined by the inherited unique identifiers.
+        """
+        if self.network is None:
+            adjacency = {
+                node: self.neighbor_ids[i] for i, node in enumerate(self.order)
+            }
+            unique_ids = {node: self.unique_ids[i] for i, node in enumerate(self.order)}
+            self.network = Network(adjacency, unique_ids=unique_ids)
+        return self.network
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FastNetwork(n={self.num_nodes}, nnz={len(self.indices)})"
 
 
-def fast_view(network: Network) -> FastNetwork:
+def fast_view(network) -> FastNetwork:
     """The cached :class:`FastNetwork` of ``network`` (compiled on first use).
 
-    Networks are immutable once constructed, so the compiled view is stored on
-    the network object and shared by every scheduler that runs on it.
+    Accepts a :class:`FastNetwork` and returns it unchanged, so algorithm
+    code can be handed either representation.  Networks are immutable once
+    constructed, so the compiled view is stored on the network object and
+    shared by every scheduler that runs on it.
     """
+    if isinstance(network, FastNetwork):
+        return network
     cached = getattr(network, "_fast_view_cache", None)
     if cached is None:
         cached = FastNetwork(network)

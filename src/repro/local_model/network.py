@@ -254,7 +254,9 @@ class Network:
         keep = set(nodes)
         unknown = keep - set(self._order)
         if unknown:
-            raise InvalidParameterError(f"unknown nodes in induced_subgraph: {sorted(map(repr, unknown))[:5]}")
+            raise InvalidParameterError(
+                f"unknown nodes in induced_subgraph: {sorted(map(repr, unknown))[:5]}"
+            )
         adjacency = {
             node: [n for n in self._adjacency[node] if n in keep]
             for node in self._order

@@ -1,0 +1,274 @@
+"""The vectorized color-phase engine.
+
+The batched engine (:mod:`repro.local_model.batched`) removed the per-message
+bookkeeping but still executes one Python callback per node per round.  For
+the paper's *pure-color* phases -- Linial's set-system recoloring, the
+Kuhn-Wattenhofer block reduction, the defective polynomial steps, the
+``psi``-selection loop -- a round's messages are just the nodes' current
+colors, so the entire round is expressible as array arithmetic over the CSR
+adjacency of a :class:`~repro.local_model.fast_network.FastNetwork`.
+
+:class:`VectorizedScheduler` runs exactly those phases as numpy kernels and
+transparently falls back to :class:`~repro.local_model.batched.BatchedScheduler`
+for any phase that does not declare one -- a pipeline may freely mix both
+kinds.  A phase opts in by setting ``supports_vectorized = True`` and
+implementing ``vector_run(ctx)``, where ``ctx`` is the :class:`VectorContext`
+defined here.  The contract mirrors the scalar callbacks bit for bit:
+
+* the final per-node state dictionaries must be *identical* to what the
+  reference scheduler produces (including internal scratch keys);
+* the phase's :class:`~repro.local_model.metrics.PhaseMetrics` must be
+  identical -- rounds, message count, total words, maximum message size.
+
+``tests/test_engine_equivalence.py`` and the golden fixtures enforce both,
+for all three engines, across the whole algorithm zoo.  The metric side is
+made hard to get wrong by the charging helpers on :class:`VectorContext`:
+a uniform broadcast phase (every live node announces one scalar per round,
+all nodes halt together) is fully described by its round count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, RoundLimitExceeded
+from repro.local_model.batched import BatchedScheduler
+from repro.local_model.fast_network import FastNetwork
+from repro.local_model.metrics import PhaseMetrics
+
+
+class VectorContext:
+    """Everything a ``vector_run`` kernel may touch.
+
+    Attributes
+    ----------
+    fast:
+        The CSR view the phase runs on.
+    states:
+        The per-node state dictionaries in dense-index order.  Kernels read
+        their input column(s) through :meth:`column` and write results back
+        through :meth:`write_column` / :meth:`write_value`; direct access is
+        allowed for state values that are not scalars (lists, sets).
+    metrics:
+        The phase's metrics object, filled in through the charging helpers.
+    round_limit:
+        The phase's round budget (``round_limit_factor * max_rounds``);
+        :meth:`check_round_budget` enforces it with the scheduler's exact
+        exception.
+    """
+
+    def __init__(
+        self,
+        fast: FastNetwork,
+        states: List[Dict[str, Any]],
+        metrics: PhaseMetrics,
+        round_limit: int,
+        phase_name: str,
+    ) -> None:
+        self.fast = fast
+        self.states = states
+        self.metrics = metrics
+        self.round_limit = round_limit
+        self.phase_name = phase_name
+
+    # ------------------------------------------------------------------ #
+    # State columns
+    # ------------------------------------------------------------------ #
+
+    def column(self, key: str) -> np.ndarray:
+        """Gather ``state[key]`` over all nodes into an ``int64`` array."""
+        return np.fromiter(
+            (state[key] for state in self.states),
+            dtype=np.int64,
+            count=len(self.states),
+        )
+
+    def unique_ids(self) -> np.ndarray:
+        """The nodes' distinct identity numbers (``int64``, dense order)."""
+        return self.fast.unique_ids_np
+
+    def write_column(self, key: str, values: np.ndarray) -> None:
+        """Scatter ``values`` into ``state[key]`` as plain Python ints."""
+        for state, value in zip(self.states, values.tolist()):
+            state[key] = value
+
+    def write_value(self, key: str, value: Any) -> None:
+        """Write the same (immutable) value into ``state[key]`` everywhere."""
+        for state in self.states:
+            state[key] = value
+
+    # ------------------------------------------------------------------ #
+    # Adjacency gathers
+    # ------------------------------------------------------------------ #
+
+    def gather_neighbors(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The concatenated neighbor lists of ``nodes``.
+
+        Returns ``(local_rows, neighbors)``: CSR entry ``e`` of the result is
+        the edge from ``nodes[local_rows[e]]`` to dense index
+        ``neighbors[e]``.  Neighbor order within a node is the deterministic
+        network order, matching the scalar engines' inbox iteration order.
+        """
+        fast = self.fast
+        lengths = fast.degrees_np[nodes]
+        total = int(lengths.sum())
+        local_rows = np.repeat(np.arange(len(nodes), dtype=np.int64), lengths)
+        if total == 0:
+            return local_rows, np.zeros(0, dtype=np.int64)
+        starts = np.repeat(fast.indptr_np[nodes], lengths)
+        offsets = np.zeros(len(nodes), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
+        return local_rows, fast.indices_np[starts + within]
+
+    # ------------------------------------------------------------------ #
+    # Metric charging
+    # ------------------------------------------------------------------ #
+
+    def check_round_budget(self, rounds: int) -> None:
+        """Raise exactly like the scalar engines when ``rounds`` exceeds the budget."""
+        if rounds > self.round_limit:
+            raise RoundLimitExceeded(
+                f"phase {self.phase_name!r} exceeded its round budget of "
+                f"{self.round_limit}"
+            )
+
+    def charge_uniform_broadcast(self, rounds: int, payload_words: int = 1) -> None:
+        """Account ``rounds`` rounds in which *every* node broadcasts one payload.
+
+        This is the exact cost the scalar engines measure for a phase in
+        which all nodes stay live until a common final round and broadcast a
+        ``payload_words``-word payload each round: ``degree`` messages per
+        node per round.
+        """
+        self.check_round_budget(rounds)
+        nnz = len(self.fast.indices)
+        metrics = self.metrics
+        metrics.rounds = rounds
+        metrics.messages = rounds * nnz
+        metrics.total_words = rounds * nnz * payload_words
+        metrics.max_message_words = payload_words if nnz else 0
+
+    def charge_silent_round(self) -> None:
+        """Account the single silent round of a degenerate (no-op) phase."""
+        self.check_round_budget(1)
+        self.metrics.rounds = 1
+
+    def charge(
+        self, rounds: int, messages: int, total_words: int, max_message_words: int
+    ) -> None:
+        """Account explicitly computed metrics (non-uniform phases)."""
+        self.check_round_budget(rounds)
+        metrics = self.metrics
+        metrics.rounds = rounds
+        metrics.messages = messages
+        metrics.total_words = total_words
+        metrics.max_message_words = max_message_words
+
+
+def check_color_range(colors: np.ndarray, palette: int, template: str) -> None:
+    """Apply the scalar ``initialize`` palette validation to a color column.
+
+    ``template`` is the exact exception text of the scalar counterpart with
+    ``{color}`` / ``{palette}`` placeholders; the first out-of-range node in
+    dense order raises, matching the reference scheduler's iteration order.
+    """
+    bad = (colors < 1) | (colors > palette)
+    if bad.any():
+        offender = int(colors[np.flatnonzero(bad)[0]])
+        raise InvalidParameterError(
+            template.format(color=offender, palette=palette)
+        )
+
+
+class VectorizedScheduler(BatchedScheduler):
+    """Runs declared color kernels as numpy array programs; falls back otherwise.
+
+    Constructor and :meth:`run` are inherited unchanged from
+    :class:`~repro.local_model.batched.BatchedScheduler`; only the per-phase
+    execution differs.  A phase executes vectorized exactly when it sets
+    ``supports_vectorized = True`` and provides ``vector_run``; every other
+    phase (including every user-defined phase) runs on the batched path and
+    therefore behaves identically to the ``"batched"`` engine.
+    """
+
+    def _run_single_phase(self, phase, states, views) -> PhaseMetrics:
+        vector_run = getattr(phase, "vector_run", None)
+        if vector_run is None or not getattr(phase, "supports_vectorized", False):
+            return super()._run_single_phase(phase, states, views)
+
+        fast = self._fast
+        phase_metrics = PhaseMetrics(name=phase.name)
+        if fast.num_nodes == 0:
+            return phase_metrics
+        round_limit = self._round_limit_factor * phase.max_rounds(
+            fast.num_nodes, fast.max_degree
+        )
+        context = VectorContext(
+            fast, states, phase_metrics, round_limit, phase.name
+        )
+        vector_run(context)
+        return phase_metrics
+
+
+# --------------------------------------------------------------------------- #
+# Shared polynomial helpers (used by the Linial / defective-step kernels)
+# --------------------------------------------------------------------------- #
+
+
+def digits_base_q(values: np.ndarray, q: int, num_digits: int) -> np.ndarray:
+    """The ``num_digits`` least-significant base-``q`` digits of each value.
+
+    Column ``j`` of the result holds digit ``j`` (the coefficient of ``x^j``),
+    matching :func:`repro.primitives.numbers.base_q_digits`.
+    """
+    digits = np.empty((len(values), num_digits), dtype=np.int64)
+    remaining = values.copy()
+    for j in range(num_digits):
+        digits[:, j] = remaining % q
+        remaining //= q
+    return digits
+
+
+def poly_eval_columns(digits: np.ndarray, point: int, q: int) -> np.ndarray:
+    """Evaluate every row's polynomial at the scalar ``point`` over ``GF(q)``.
+
+    Horner's rule from the most significant coefficient, exactly like
+    :func:`repro.primitives.numbers.poly_eval`.
+    """
+    values = digits[:, -1].copy()
+    for j in range(digits.shape[1] - 2, -1, -1):
+        values *= point
+        values += digits[:, j]
+        values %= q
+    return values
+
+
+def poly_eval_at_points(digits: np.ndarray, points: np.ndarray, q: int) -> np.ndarray:
+    """Evaluate every row's polynomial at its own point over ``GF(q)``."""
+    values = digits[:, -1].copy()
+    for j in range(digits.shape[1] - 2, -1, -1):
+        values *= points
+        values += digits[:, j]
+        values %= q
+    return values
+
+
+def first_free_slot(
+    num_rows: int, limit: int, local_rows: np.ndarray, taken_slots: np.ndarray
+) -> np.ndarray:
+    """Per row, the smallest slot in ``0..limit-1`` not marked taken (-1 if none).
+
+    ``taken_slots[e]`` marks slot ``taken_slots[e]`` of row ``local_rows[e]``
+    as occupied; entries outside ``0..limit-1`` must be filtered by the
+    caller.  This is the vectorized form of the scalar engines' "first free
+    color among the neighbors" scan.
+    """
+    taken = np.zeros(num_rows * limit, dtype=bool)
+    taken[local_rows * limit + taken_slots] = True
+    free = ~taken.reshape(num_rows, limit)
+    slots = np.argmax(free, axis=1)
+    slots[~free.any(axis=1)] = -1
+    return slots

@@ -27,10 +27,23 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError, SimulationError
 from repro.local_model.algorithm import SILENT, BroadcastPhase, LocalView, PhasePipeline
+from repro.local_model.vectorized import VectorContext, check_color_range, first_free_slot
 from repro.primitives.linial import LinialColoringPhase
 from repro.primitives.numbers import ceil_div
+
+#: The exact exception text of the scalar ``initialize`` validations.
+_PALETTE_TEMPLATE = "color {color} outside declared palette 1..{palette}"
+
+
+def _validated_colors(ctx: VectorContext, input_key: str, palette: int) -> np.ndarray:
+    """Gather the input coloring and apply the scalar ``initialize`` validation."""
+    colors = ctx.column(input_key)
+    check_color_range(colors, palette, _PALETTE_TEMPLATE)
+    return colors
 
 
 class IterativeColorReductionPhase(BroadcastPhase):
@@ -103,6 +116,47 @@ class IterativeColorReductionPhase(BroadcastPhase):
 
     def max_rounds(self, n: int, max_degree: int) -> int:
         return self.total_rounds + 2
+
+    # ------------------------------------------------------------------ #
+    # Vectorized execution (see repro.local_model.vectorized)
+    # ------------------------------------------------------------------ #
+
+    #: Marker the vectorized scheduler checks to run the numpy kernel.
+    supports_vectorized: bool = True
+
+    def vector_run(self, ctx: VectorContext) -> None:
+        """The whole phase as array arithmetic; bit-identical to the callbacks."""
+        colors = _validated_colors(ctx, self.input_key, self.palette)
+        if self.total_rounds == 0:
+            ctx.charge_silent_round()
+            ctx.write_column("_reduce_current", colors)
+            ctx.write_column(self.output_key, colors)
+            return
+
+        for round_index in range(1, self.total_rounds + 1):
+            active_color = self.palette - round_index + 1
+            recoloring = np.flatnonzero(colors == active_color)
+            if not recoloring.size:
+                continue
+            local_rows, neighbors = ctx.gather_neighbors(recoloring)
+            neighbor_colors = colors[neighbors]
+            in_target = neighbor_colors <= self.target
+            replacement = first_free_slot(
+                recoloring.size,
+                self.target,
+                local_rows[in_target],
+                neighbor_colors[in_target] - 1,
+            )
+            if (replacement < 0).any():
+                raise SimulationError(
+                    "no free color during iterative reduction; the target palette "
+                    "is smaller than the subgraph degree + 1"
+                )
+            colors[recoloring] = replacement + 1
+
+        ctx.charge_uniform_broadcast(self.total_rounds)
+        ctx.write_column("_reduce_current", colors)
+        ctx.write_column(self.output_key, colors)
 
 
 class KuhnWattenhoferReductionPhase(BroadcastPhase):
@@ -211,6 +265,59 @@ class KuhnWattenhoferReductionPhase(BroadcastPhase):
 
     def max_rounds(self, n: int, max_degree: int) -> int:
         return self.total_rounds + 2
+
+    # ------------------------------------------------------------------ #
+    # Vectorized execution (see repro.local_model.vectorized)
+    # ------------------------------------------------------------------ #
+
+    #: Marker the vectorized scheduler checks to run the numpy kernel.
+    supports_vectorized: bool = True
+
+    def vector_run(self, ctx: VectorContext) -> None:
+        """The whole phase as array arithmetic; bit-identical to the callbacks."""
+        colors = _validated_colors(ctx, self.input_key, self.palette)
+        if self.total_rounds == 0:
+            ctx.charge_silent_round()
+            ctx.write_column("_kw_current", colors)
+            ctx.write_column(self.output_key, colors)
+            return
+
+        k = self.target
+        block_width = 2 * k
+        for round_index in range(1, self.total_rounds + 1):
+            step = (round_index - 1) % k
+            blocks = (colors - 1) // block_width
+            offsets = (colors - 1) % block_width
+            recoloring = np.flatnonzero(offsets == k + step)
+            if recoloring.size:
+                local_rows, neighbors = ctx.gather_neighbors(recoloring)
+                neighbor_colors = colors[neighbors]
+                neighbor_blocks = (neighbor_colors - 1) // block_width
+                neighbor_offsets = (neighbor_colors - 1) % block_width
+                relevant = (neighbor_blocks == blocks[recoloring][local_rows]) & (
+                    neighbor_offsets < k
+                )
+                replacement = first_free_slot(
+                    recoloring.size,
+                    k,
+                    local_rows[relevant],
+                    neighbor_offsets[relevant],
+                )
+                if (replacement < 0).any():
+                    raise SimulationError(
+                        "no free color during Kuhn-Wattenhofer reduction; the target "
+                        "palette is smaller than the subgraph degree + 1"
+                    )
+                colors[recoloring] = blocks[recoloring] * block_width + replacement + 1
+            if step == k - 1:
+                # End of the iteration: compact (block, lower-offset) pairs.
+                blocks = (colors - 1) // block_width
+                offsets = (colors - 1) % block_width
+                colors = blocks * k + offsets + 1
+
+        ctx.charge_uniform_broadcast(self.total_rounds)
+        ctx.write_column("_kw_current", colors)
+        ctx.write_column(self.output_key, colors)
 
 
 def delta_plus_one_pipeline(

@@ -25,8 +25,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 from repro.local_model.algorithm import BroadcastPhase, LocalView, PhasePipeline, SynchronousPhase
+from repro.local_model.vectorized import (
+    VectorContext,
+    check_color_range,
+    digits_base_q,
+    poly_eval_columns,
+)
 from repro.primitives.linial import LinialColoringPhase
 from repro.primitives.numbers import (
     base_q_digits,
@@ -139,6 +147,53 @@ class DefectiveStepPhase(BroadcastPhase):
 
     def max_rounds(self, n: int, max_degree: int) -> int:
         return 2
+
+    # ------------------------------------------------------------------ #
+    # Vectorized execution (see repro.local_model.vectorized)
+    # ------------------------------------------------------------------ #
+
+    #: Marker the vectorized scheduler checks to run the numpy kernel.
+    supports_vectorized: bool = True
+
+    def vector_run(self, ctx: VectorContext) -> None:
+        """The whole phase as array arithmetic; bit-identical to the callbacks."""
+        colors = ctx.column(self.input_key)
+        check_color_range(
+            colors, self.palette, "color {color} outside declared palette 1..{palette}"
+        )
+
+        fast = ctx.fast
+        n = fast.num_nodes
+        q, digits = self.q, self.digits
+        coeffs = digits_base_q(colors - 1, q, digits)
+        rows, cols = fast.rows_np, fast.indices_np
+        # Neighbors holding the *same* color never count as collisions.
+        differing = np.flatnonzero(colors[rows] != colors[cols])
+        edge_rows = rows[differing]
+        edge_cols = cols[differing]
+
+        best_count = np.zeros(n, dtype=np.int64)
+        best_point = np.zeros(n, dtype=np.int64)
+        best_value = np.zeros(n, dtype=np.int64)
+        for point in range(q):
+            values = poly_eval_columns(coeffs, point, q)
+            collide = values[edge_rows] == values[edge_cols]
+            count = np.bincount(edge_rows[collide], minlength=n)
+            if point == 0:
+                best_count = count
+                best_value = values
+            else:
+                improve = count < best_count
+                best_count = np.where(improve, count, best_count)
+                best_point[improve] = point
+                best_value[improve] = values[improve]
+            if not best_count.any():
+                # Strict improvement means later points can never displace a
+                # zero-collision choice, exactly like the scalar early break.
+                break
+
+        ctx.charge_uniform_broadcast(1)
+        ctx.write_column(self.output_key, best_point * q + best_value + 1)
 
 
 def _split_defect_budget(target_defect: int) -> List[int]:

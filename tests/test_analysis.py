@@ -43,7 +43,9 @@ class TestComplexityCurves:
         # log Delta + log* n is below sqrt(log n) once Delta is small enough.
         n = 2**64
         delta = 8
-        assert rounds_new_superlinear(delta, n) < rounds_schneider_wattenhofer(delta, n) + log_star(n)
+        assert rounds_new_superlinear(delta, n) < (
+            rounds_schneider_wattenhofer(delta, n) + log_star(n)
+        )
 
     def test_color_curves(self):
         assert colors_panconesi_rizzi(10) == 19

@@ -116,5 +116,7 @@ class TestLubyBaseline:
         assert metrics.rounds <= 40
 
     def test_custom_palette(self, small_regular):
-        colors, _ = luby_vertex_coloring(small_regular, palette=3 * small_regular.max_degree, seed=1)
+        colors, _ = luby_vertex_coloring(
+            small_regular, palette=3 * small_regular.max_degree, seed=1
+        )
         assert_legal_vertex_coloring(small_regular, colors)

@@ -6,7 +6,6 @@ import pytest
 
 from repro import graphs
 from repro.exceptions import InvalidParameterError
-from repro.local_model import Scheduler
 from repro.graphs.line_graph import line_graph_network
 from repro.core.defective_coloring import (
     defective_color_pipeline,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import graphs
-from repro.core.edge_coloring import EdgeColoringResult, color_edges
+from repro.core.edge_coloring import color_edges
 from repro.core.parameters import params_for_few_rounds
 from repro.exceptions import InvalidParameterError
 from repro.verification.coloring import assert_legal_edge_coloring

@@ -73,7 +73,8 @@ class TestRecursionBehaviour:
                 assert trace.degree_bound <= previous_bound
             previous_bound = trace.next_degree_bound
         assert result.bottom_degree_bound <= max(
-            params.threshold, result.levels[-1].next_degree_bound if result.levels else params.threshold
+            params.threshold,
+            result.levels[-1].next_degree_bound if result.levels else params.threshold,
         )
 
     def test_palette_accounting_matches_figure_3(self):

@@ -63,8 +63,12 @@ class TestPsiSelection:
         # dictionaries (as Legal-Color does level by level) must not leak the
         # announcement flag of the first run into the second.
         phi = {node: small_regular.unique_id(node) for node in small_regular.nodes()}
-        first_phase = PsiSelectionPhase(p=3, phi_key="phi", phi_palette=len(phi), output_key="psi_a")
-        second_phase = PsiSelectionPhase(p=3, phi_key="phi", phi_palette=len(phi), output_key="psi_b")
+        first_phase = PsiSelectionPhase(
+            p=3, phi_key="phi", phi_palette=len(phi), output_key="psi_a"
+        )
+        second_phase = PsiSelectionPhase(
+            p=3, phi_key="phi", phi_palette=len(phi), output_key="psi_b"
+        )
         states = {node: {"phi": phi[node]} for node in small_regular.nodes()}
         first = Scheduler(small_regular).run(first_phase, initial_states=states)
         second = Scheduler(small_regular).run(second_phase, initial_states=first.states)

@@ -1,11 +1,13 @@
-"""Batched engine == reference scheduler, bit for bit.
+"""Batched engine == vectorized engine == reference scheduler, bit for bit.
 
-The batched round engine (:class:`repro.local_model.BatchedScheduler`) is
-only trustworthy because these tests pin it to the reference scheduler: for
-every core algorithm, over a grid of graphs and seeds, the two engines must
-produce *identical* final colorings and *identical* metrics (rounds,
-messages, total words, maximum message size -- per phase, not just in
-aggregate).  Any divergence, however small, is a bug in one of the engines.
+The batched round engine (:class:`repro.local_model.BatchedScheduler`) and
+the vectorized color-phase engine
+(:class:`repro.local_model.VectorizedScheduler`) are only trustworthy because
+these tests pin them to the reference scheduler: for every core algorithm,
+over a grid of graphs and seeds, all engines must produce *identical* final
+colorings and *identical* metrics (rounds, messages, total words, maximum
+message size -- per phase, not just in aggregate).  Any divergence, however
+small, is a bug in one of the engines.
 """
 
 from __future__ import annotations
@@ -21,17 +23,27 @@ from repro.core import (
     run_defective_color,
     tradeoff_color_vertices,
 )
+from repro.core.defective_coloring import defective_color_pipeline
 from repro.graphs.line_graph import line_graph_network
 from repro.local_model import (
     BatchedScheduler,
     Network,
-    PhasePipeline,
     Scheduler,
+    VectorizedScheduler,
     make_scheduler,
     use_engine,
 )
 from repro.primitives.color_reduction import delta_plus_one_pipeline
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
+
+#: The engines whose outputs must be indistinguishable from the reference.
+FAST_ENGINES = ("batched", "vectorized")
+
+ENGINE_CLASSES = {
+    "reference": Scheduler,
+    "batched": BatchedScheduler,
+    "vectorized": VectorizedScheduler,
+}
 
 
 def metrics_fingerprint(metrics):
@@ -64,21 +76,38 @@ def _grid_network(request):
 
 
 class TestSchedulerLevelEquivalence:
-    """Raw pipelines compared straight at the scheduler API."""
+    """Raw pipelines compared straight at the scheduler API.
+
+    These comparisons include the *full* final state dictionaries --
+    internal scratch keys and all -- which is the strictest possible check
+    of the vectorized kernels.
+    """
 
     def _compare(self, network: Network, pipeline, initial_states=None):
         reference = Scheduler(network).run(pipeline, initial_states=initial_states)
-        batched = BatchedScheduler(network).run(pipeline, initial_states=initial_states)
-        assert batched.states == reference.states
-        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
-            reference.metrics
-        )
+        for engine_cls in (BatchedScheduler, VectorizedScheduler):
+            candidate = engine_cls(network).run(
+                pipeline, initial_states=initial_states
+            )
+            assert candidate.states == reference.states
+            assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
+                reference.metrics
+            )
 
     def test_delta_plus_one_pipeline(self, grid_network):
         pipeline, _ = delta_plus_one_pipeline(
             n=grid_network.num_nodes,
             degree_bound=max(1, grid_network.max_degree),
             output_key="c",
+        )
+        self._compare(grid_network, pipeline)
+
+    def test_delta_plus_one_iterative_reduction(self, grid_network):
+        pipeline, _ = delta_plus_one_pipeline(
+            n=grid_network.num_nodes,
+            degree_bound=max(1, grid_network.max_degree),
+            output_key="c",
+            use_kuhn_wattenhofer=False,
         )
         self._compare(grid_network, pipeline)
 
@@ -91,90 +120,110 @@ class TestSchedulerLevelEquivalence:
         )
         self._compare(grid_network, pipeline)
 
+    def test_defective_color_pipeline_with_psi_selection(self, grid_network):
+        pipeline, _ = defective_color_pipeline(
+            n=grid_network.num_nodes,
+            b=1,
+            p=2,
+            Lambda=max(2, grid_network.max_degree),
+            c=max(1, grid_network.max_degree),
+        )
+        self._compare(grid_network, pipeline)
+
     def test_empty_network(self):
         pipeline, _ = delta_plus_one_pipeline(n=1, degree_bound=1, output_key="c")
         self._compare(Network({}), pipeline)
 
+    def test_single_node_network(self):
+        pipeline, _ = delta_plus_one_pipeline(n=1, degree_bound=1, output_key="c")
+        self._compare(Network({"only": []}), pipeline)
+
 
 class TestLegalColoringEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("quality", ["superlinear", "linear"])
-    def test_identical_colorings_and_metrics(self, grid_network, quality):
+    def test_identical_colorings_and_metrics(self, grid_network, quality, engine):
         c = max(1, grid_network.max_degree)
         reference = color_vertices(
             grid_network, c=c, quality=quality, engine="reference"
         )
-        batched = color_vertices(grid_network, c=c, quality=quality, engine="batched")
-        assert batched.colors == reference.colors
-        assert batched.palette == reference.palette
-        assert [level.rounds for level in batched.levels] == [
+        candidate = color_vertices(grid_network, c=c, quality=quality, engine=engine)
+        assert candidate.colors == reference.colors
+        assert candidate.palette == reference.palette
+        assert [level.rounds for level in candidate.levels] == [
             level.rounds for level in reference.levels
         ]
-        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
             reference.metrics
         )
 
 
 class TestEdgeColoringEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("quality", ["superlinear", "linear"])
     @pytest.mark.parametrize("route", ["direct", "simulation"])
-    def test_identical_edge_colorings(self, quality, route):
+    def test_identical_edge_colorings(self, quality, route, engine):
         for seed in (1, 5):
             network = graphs.random_regular(20, 4, seed=seed)
             reference = color_edges(
                 network, quality=quality, route=route, engine="reference"
             )
-            batched = color_edges(
-                network, quality=quality, route=route, engine="batched"
-            )
-            assert batched.edge_colors == reference.edge_colors
-            assert batched.palette == reference.palette
-            assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            candidate = color_edges(network, quality=quality, route=route, engine=engine)
+            assert candidate.edge_colors == reference.edge_colors
+            assert candidate.palette == reference.palette
+            assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
                 reference.metrics
             )
 
 
 class TestDefectiveColoringEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("p", [2, 3])
-    def test_identical_psi_colorings(self, p):
+    def test_identical_psi_colorings(self, p, engine):
         for seed in (2, 9):
             line = line_graph_network(graphs.random_regular(18, 4, seed=seed))
             ref_colors, ref_info, ref_metrics = run_defective_color(
                 line, b=1, p=p, c=2, engine="reference"
             )
-            bat_colors, bat_info, bat_metrics = run_defective_color(
-                line, b=1, p=p, c=2, engine="batched"
+            colors, info, metrics = run_defective_color(
+                line, b=1, p=p, c=2, engine=engine
             )
-            assert bat_colors == ref_colors
-            assert bat_info == ref_info
-            assert metrics_fingerprint(bat_metrics) == metrics_fingerprint(ref_metrics)
+            assert colors == ref_colors
+            assert info == ref_info
+            assert metrics_fingerprint(metrics) == metrics_fingerprint(ref_metrics)
 
-    def test_edge_mode(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_edge_mode(self, engine):
         line = line_graph_network(graphs.random_regular(16, 6, seed=4))
         ref_colors, _, ref_metrics = run_defective_color(
             line, b=2, p=3, c=2, mode="edge", engine="reference"
         )
-        bat_colors, _, bat_metrics = run_defective_color(
-            line, b=2, p=3, c=2, mode="edge", engine="batched"
+        colors, _, metrics = run_defective_color(
+            line, b=2, p=3, c=2, mode="edge", engine=engine
         )
-        assert bat_colors == ref_colors
-        assert metrics_fingerprint(bat_metrics) == metrics_fingerprint(ref_metrics)
+        assert colors == ref_colors
+        assert metrics_fingerprint(metrics) == metrics_fingerprint(ref_metrics)
 
 
 class TestTradeoffEquivalence:
-    @pytest.mark.parametrize("g_label,g", [("sqrt", lambda d: d**0.5), ("linear", float)])
-    def test_identical_tradeoff_colorings(self, g_label, g):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize(
+        "g_label,g", [("sqrt", lambda d: d**0.5), ("linear", float)]
+    )
+    def test_identical_tradeoff_colorings(self, g_label, g, engine):
         line = line_graph_network(graphs.random_regular(20, 6, seed=13))
         reference = tradeoff_color_vertices(line, c=2, g=g, engine="reference")
-        batched = tradeoff_color_vertices(line, c=2, g=g, engine="batched")
-        assert batched.colors == reference.colors
-        assert batched.palette == reference.palette
-        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+        candidate = tradeoff_color_vertices(line, c=2, g=g, engine=engine)
+        assert candidate.colors == reference.colors
+        assert candidate.palette == reference.palette
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
             reference.metrics
         )
 
 
 class TestRandomizedEquivalence:
-    def test_identical_randomized_colorings(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_identical_randomized_colorings(self, engine):
         # Per-node randomness is keyed by (seed, unique id), so it must be
         # engine-independent.
         network = graphs.random_regular(32, 8, seed=21)
@@ -182,12 +231,12 @@ class TestRandomizedEquivalence:
             reference = randomized_color_vertices(
                 network, c=8, seed=seed, engine="reference"
             )
-            batched = randomized_color_vertices(
-                network, c=8, seed=seed, engine="batched"
+            candidate = randomized_color_vertices(
+                network, c=8, seed=seed, engine=engine
             )
-            assert batched.colors == reference.colors
-            assert batched.class_assignment == reference.class_assignment
-            assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+            assert candidate.colors == reference.colors
+            assert candidate.class_assignment == reference.class_assignment
+            assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
                 reference.metrics
             )
 
@@ -195,34 +244,48 @@ class TestRandomizedEquivalence:
 class TestBaselineEquivalence:
     """Baselines exercise the generic (non-broadcast) fallback path too."""
 
-    def test_panconesi_rizzi(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_panconesi_rizzi(self, engine):
         network = graphs.random_regular(18, 4, seed=5)
         reference = panconesi_rizzi_edge_coloring(network, engine="reference")
-        batched = panconesi_rizzi_edge_coloring(network, engine="batched")
-        assert batched.edge_colors == reference.edge_colors
-        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+        candidate = panconesi_rizzi_edge_coloring(network, engine=engine)
+        assert candidate.edge_colors == reference.edge_colors
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
             reference.metrics
         )
 
-    def test_luby_randomized(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_luby_randomized(self, engine):
         network = graphs.random_regular(18, 4, seed=6)
         reference = luby_edge_coloring(network, seed=3, engine="reference")
-        batched = luby_edge_coloring(network, seed=3, engine="batched")
-        assert batched.edge_colors == reference.edge_colors
-        assert metrics_fingerprint(batched.metrics) == metrics_fingerprint(
+        candidate = luby_edge_coloring(network, seed=3, engine=engine)
+        assert candidate.edge_colors == reference.edge_colors
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
             reference.metrics
         )
 
 
 class TestEngineSelection:
     def test_make_scheduler_types(self, triangle):
-        assert isinstance(make_scheduler(triangle, engine="reference"), Scheduler)
-        assert isinstance(make_scheduler(triangle, engine="batched"), BatchedScheduler)
+        for engine, engine_cls in ENGINE_CLASSES.items():
+            assert isinstance(make_scheduler(triangle, engine=engine), engine_cls)
+
+    def test_default_engine_is_batched(self, triangle):
+        # The ROADMAP's scheduled flip: the batched engine is the process
+        # default, the reference scheduler is the opt-in auditing tool.
+        from repro.local_model import default_engine
+
+        assert default_engine() == "batched"
+        assert isinstance(make_scheduler(triangle), BatchedScheduler)
+        assert not isinstance(make_scheduler(triangle), VectorizedScheduler)
 
     def test_use_engine_context_switches_default(self, triangle):
-        with use_engine("batched"):
-            assert isinstance(make_scheduler(triangle), BatchedScheduler)
-        assert isinstance(make_scheduler(triangle), Scheduler)
+        with use_engine("vectorized"):
+            assert isinstance(make_scheduler(triangle), VectorizedScheduler)
+        assert isinstance(make_scheduler(triangle), BatchedScheduler)
+        with use_engine("reference"):
+            assert isinstance(make_scheduler(triangle), Scheduler)
+        assert isinstance(make_scheduler(triangle), BatchedScheduler)
 
     def test_unknown_engine_rejected(self, triangle):
         from repro.exceptions import InvalidParameterError
@@ -230,13 +293,17 @@ class TestEngineSelection:
         with pytest.raises(InvalidParameterError):
             make_scheduler(triangle, engine="warp-drive")
 
-    def test_default_engine_drives_algorithms(self, small_regular):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_default_engine_drives_algorithms(self, small_regular, engine):
         baseline = color_vertices(small_regular, c=4, engine="reference")
-        with use_engine("batched"):
+        with use_engine(engine):
             switched = color_vertices(small_regular, c=4)
         assert switched.colors == baseline.colors
 
-    def test_non_neighbor_message_rejected_by_batched(self, triangle):
+    @pytest.mark.parametrize(
+        "engine_cls", [BatchedScheduler, VectorizedScheduler]
+    )
+    def test_non_neighbor_message_rejected(self, triangle, engine_cls):
         from repro.exceptions import SimulationError
         from repro.local_model import SynchronousPhase
 
@@ -250,9 +317,12 @@ class TestEngineSelection:
                 return True
 
         with pytest.raises(SimulationError):
-            BatchedScheduler(triangle).run(Misbehaving())
+            engine_cls(triangle).run(Misbehaving())
 
-    def test_round_limit_enforced_by_batched(self, triangle):
+    @pytest.mark.parametrize(
+        "engine_cls", [BatchedScheduler, VectorizedScheduler]
+    )
+    def test_round_limit_enforced(self, triangle, engine_cls):
         from repro.exceptions import RoundLimitExceeded
         from repro.local_model import SynchronousPhase
 
@@ -269,4 +339,34 @@ class TestEngineSelection:
                 return 5
 
         with pytest.raises(RoundLimitExceeded):
-            BatchedScheduler(triangle).run(NeverHalting())
+            engine_cls(triangle).run(NeverHalting())
+
+    def test_vectorized_falls_back_for_undeclared_phases(self, small_regular):
+        """A custom phase without a kernel runs on the batched path, unchanged."""
+        from repro.local_model import BroadcastPhase, SILENT
+
+        class MaxNeighborId(BroadcastPhase):
+            name = "max-neighbor-id"
+
+            def initialize(self, view, state):
+                state["seen"] = view.unique_id
+
+            def broadcast(self, view, state, round_index):
+                if round_index == 1:
+                    return view.unique_id
+                return SILENT
+
+            def receive(self, view, state, inbox, round_index):
+                if inbox:
+                    state["seen"] = max(state["seen"], *inbox.values())
+                return round_index >= 2
+
+            def max_rounds(self, n, max_degree):
+                return 4
+
+        reference = Scheduler(small_regular).run(MaxNeighborId())
+        vectorized = VectorizedScheduler(small_regular).run(MaxNeighborId())
+        assert vectorized.states == reference.states
+        assert metrics_fingerprint(vectorized.metrics) == metrics_fingerprint(
+            reference.metrics
+        )

@@ -46,7 +46,7 @@ class TestExceptionHierarchy:
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -61,7 +61,15 @@ class TestPublicApi:
         assert callable(repro.tradeoff_color_vertices)
 
     def test_subpackages_exposed(self):
-        for module_name in ("graphs", "core", "local_model", "primitives", "baselines", "verification", "analysis"):
+        for module_name in (
+            "graphs",
+            "core",
+            "local_model",
+            "primitives",
+            "baselines",
+            "verification",
+            "analysis",
+        ):
             assert hasattr(repro, module_name)
 
     def test_quickstart_snippet_from_docstring(self):

@@ -160,3 +160,64 @@ class TestScenarioAndCache:
         path = cache._path(token)
         path.write_text("{not json")
         assert cache.get(token) is None
+
+
+class TestEngineCacheKeys:
+    """Regression: cache tokens must always name the concrete engine.
+
+    Results computed by one engine must never be served for another --
+    in particular ``"vectorized"`` results can never collide with
+    ``"batched"`` ones cached before the engine existed -- and a scenario
+    built with ``engine=None`` must resolve the process default *eagerly* so
+    its cache identity cannot drift when the default changes.
+    """
+
+    def test_tokens_differ_per_engine(self):
+        tokens = {
+            legal_scenario(engine=engine).cache_token()
+            for engine in ("reference", "batched", "vectorized")
+        }
+        assert len(tokens) == 3
+
+    def test_engine_none_resolves_to_concrete_default(self):
+        from repro.local_model import default_engine, use_engine
+
+        scenario = legal_scenario(engine=None)
+        assert scenario.engine == default_engine()
+        assert scenario.key()["engine"] == default_engine()
+        with use_engine("vectorized"):
+            pinned = legal_scenario(engine=None)
+        assert pinned.engine == "vectorized"
+        # The resolution happened at construction time: the token does not
+        # change when the ambient default changes afterwards.
+        with use_engine("reference"):
+            assert pinned.cache_token() == pinned.with_engine("vectorized").cache_token()
+
+    def test_with_engine_none_resolves_to_concrete_default(self):
+        from repro.local_model import default_engine
+
+        scenario = legal_scenario(engine="reference").with_engine(None)
+        assert scenario.engine == default_engine()
+
+    def test_directly_constructed_scenario_resolves_in_key(self):
+        from repro.local_model import default_engine
+
+        scenario = Scenario(
+            name="direct",
+            graph=GraphSpec("random_regular", n=10, degree=3, seed=0),
+            algorithm="legal_coloring",
+            engine=None,
+        )
+        assert scenario.key()["engine"] == default_engine()
+
+    def test_vectorized_and_batched_cache_entries_coexist(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, max_workers=0)
+        batched = legal_scenario(engine="batched")
+        vectorized = legal_scenario(engine="vectorized")
+        first = runner.run([batched, vectorized])
+        assert [r.cached for r in first] == [False, False]
+        assert len(runner.cache) == 2
+        again = runner.run([batched, vectorized])
+        assert [r.cached for r in again] == [True, True]
+        # Same deterministic algorithm, same graph: identical colorings.
+        assert again[0].coloring_digest == again[1].coloring_digest

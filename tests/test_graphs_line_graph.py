@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import graphs
 from repro.graphs.line_graph import build_line_graph_network, canonical_edge, line_graph_network
@@ -37,7 +36,9 @@ class TestLineGraphStructure:
 
     def test_non_adjacent_edges_are_not_neighbors(self):
         # Two disjoint edges: their line graph has no edges.
-        network = graphs.Network.from_edges([(1, 2), (3, 4)]) if hasattr(graphs, "Network") else None
+        network = (
+            graphs.Network.from_edges([(1, 2), (3, 4)]) if hasattr(graphs, "Network") else None
+        )
         from repro.local_model import Network
 
         network = Network.from_edges([(1, 2), (3, 4)])

@@ -86,7 +86,8 @@ class TestAcyclicityAndPaths:
         # Along a directed path the (color, id) pair strictly decreases, so the
         # path length is at most n - 1; with a legal coloring the color strictly
         # decreases or stays equal with decreasing id.
-        assert longest_directed_path_length(small_regular, orientation) <= small_regular.num_nodes - 1
+        longest = longest_directed_path_length(small_regular, orientation)
+        assert longest <= small_regular.num_nodes - 1
 
     def test_incomplete_orientation_rejected(self, triangle):
         orientation = {triangle.edges()[0]: triangle.edges()[0][0]}

@@ -131,6 +131,10 @@ class TestMessageSizeGuarantees:
         assert max(sizes) <= max(result.parameters.p, 4)
 
     def test_simulation_route_messages_grow_with_delta(self):
-        small = color_edges(graphs.random_regular(32, 4, seed=1), quality="superlinear", route="simulation")
-        large = color_edges(graphs.random_regular(32, 12, seed=1), quality="superlinear", route="simulation")
+        small = color_edges(
+            graphs.random_regular(32, 4, seed=1), quality="superlinear", route="simulation"
+        )
+        large = color_edges(
+            graphs.random_regular(32, 12, seed=1), quality="superlinear", route="simulation"
+        )
         assert large.metrics.max_message_words > small.metrics.max_message_words

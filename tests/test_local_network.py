@@ -5,7 +5,6 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro import graphs
 from repro.exceptions import InvalidParameterError
 from repro.local_model import Network
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import graphs
 from repro.exceptions import RoundLimitExceeded, SimulationError
 from repro.local_model import (
     Network,
@@ -184,8 +183,12 @@ class TestScheduler:
 class TestRunMetrics:
     def test_add_phase_aggregates(self):
         metrics = RunMetrics()
-        metrics.add_phase(PhaseMetrics(name="a", rounds=3, messages=10, total_words=20, max_message_words=4))
-        metrics.add_phase(PhaseMetrics(name="b", rounds=2, messages=5, total_words=5, max_message_words=1))
+        metrics.add_phase(
+            PhaseMetrics(name="a", rounds=3, messages=10, total_words=20, max_message_words=4)
+        )
+        metrics.add_phase(
+            PhaseMetrics(name="b", rounds=2, messages=5, total_words=5, max_message_words=1)
+        )
         assert metrics.rounds == 5
         assert metrics.messages == 15
         assert metrics.total_words == 25
@@ -223,5 +226,7 @@ class TestRunMetrics:
 
     def test_summary_tuple(self):
         metrics = RunMetrics()
-        metrics.add_phase(PhaseMetrics(name="a", rounds=1, messages=2, total_words=3, max_message_words=4))
+        metrics.add_phase(
+            PhaseMetrics(name="a", rounds=1, messages=2, total_words=3, max_message_words=4)
+        )
         assert metrics.summary() == (1, 2, 3, 4)

@@ -38,13 +38,19 @@ class TestIterativeReduction:
         assert result.metrics.rounds == small_regular.num_nodes - small_regular.max_degree - 1
 
     def test_noop_when_palette_already_small(self, triangle):
-        phase = IterativeColorReductionPhase(palette=3, target=3, input_key="seed", output_key="out")
+        phase = IterativeColorReductionPhase(
+            palette=3, target=3, input_key="seed", output_key="out"
+        )
         result = Scheduler(triangle).run(phase, initial_states=legal_seed_coloring(triangle))
-        assert result.extract("out") == {node: triangle.unique_id(node) for node in triangle.nodes()}
+        assert result.extract("out") == {
+            node: triangle.unique_id(node) for node in triangle.nodes()
+        }
 
     def test_target_below_degree_plus_one_fails_loudly(self):
         clique = graphs.complete_graph(5)
-        phase = IterativeColorReductionPhase(palette=5, target=3, input_key="seed", output_key="out")
+        phase = IterativeColorReductionPhase(
+            palette=5, target=3, input_key="seed", output_key="out"
+        )
         with pytest.raises(SimulationError):
             Scheduler(clique).run(phase, initial_states=legal_seed_coloring(clique))
 
@@ -55,7 +61,9 @@ class TestIterativeReduction:
             IterativeColorReductionPhase(palette=5, target=0, input_key="a")
 
     def test_out_of_palette_input_rejected(self, triangle):
-        phase = IterativeColorReductionPhase(palette=2, target=3, input_key="seed", output_key="out")
+        phase = IterativeColorReductionPhase(
+            palette=2, target=3, input_key="seed", output_key="out"
+        )
         with pytest.raises(InvalidParameterError):
             Scheduler(triangle).run(phase, initial_states=legal_seed_coloring(triangle))
 
@@ -99,7 +107,9 @@ class TestKuhnWattenhoferReduction:
         assert phase.final_palette == small_regular.max_degree + 1
 
     def test_larger_target_than_palette_is_noop(self, triangle):
-        phase = KuhnWattenhoferReductionPhase(palette=3, target=10, input_key="seed", output_key="out")
+        phase = KuhnWattenhoferReductionPhase(
+            palette=3, target=10, input_key="seed", output_key="out"
+        )
         result = Scheduler(triangle).run(phase, initial_states=legal_seed_coloring(triangle))
         assert max_color(result.extract("out")) <= 3
 

@@ -120,7 +120,9 @@ class TestDefectiveVertexColoring:
         assert max_color(result.extract("out")) <= step.output_palette
 
     def test_step_rejects_out_of_palette_colors(self, triangle):
-        step = DefectiveStepPhase(palette=2, degree_bound=2, defect_budget=1, input_key="seed", output_key="out")
+        step = DefectiveStepPhase(
+            palette=2, degree_bound=2, defect_budget=1, input_key="seed", output_key="out"
+        )
         with pytest.raises(InvalidParameterError):
             Scheduler(triangle).run(
                 step, initial_states={node: {"seed": 9} for node in triangle.nodes()}

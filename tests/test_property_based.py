@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+import numpy as np
 
 from repro.core import color_edges, run_defective_color
 from repro.experiments import ExperimentRunner, GraphSpec, Scenario
@@ -21,7 +22,13 @@ from repro.graphs.properties import (
     has_neighborhood_independence_at_most,
     neighborhood_independence,
 )
-from repro.local_model import BatchedScheduler, Network, Scheduler
+from repro.local_model import (
+    BatchedScheduler,
+    Network,
+    Scheduler,
+    VectorizedScheduler,
+    fast_view,
+)
 from repro.local_model.messages import payload_size_words
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
 from repro.primitives.color_reduction import delta_plus_one_pipeline
@@ -239,7 +246,117 @@ class TestColoringProperties:
 
 
 # --------------------------------------------------------------------------- #
-# Batched engine equivalence on random graphs
+# CSR masking: FastNetwork.filtered == Network.filtered_by_edge
+# --------------------------------------------------------------------------- #
+
+
+def _assert_same_filtered(derived, expected: Network) -> None:
+    """A derived FastNetwork and a filtered Network describe the same graph."""
+    assert derived.num_nodes == expected.num_nodes
+    assert derived.num_edges == expected.num_edges
+    assert derived.max_degree == expected.max_degree
+    assert derived.nodes() == expected.nodes()
+    for i, node in enumerate(derived.order):
+        assert derived.neighbor_ids[i] == expected.neighbors(node)
+    materialized = derived.to_network()
+    assert materialized.nodes() == expected.nodes()
+    assert materialized.edges() == expected.edges()
+    assert materialized.unique_ids() == expected.unique_ids()
+
+
+class TestFastNetworkFiltering:
+    """CSR masking agrees with the Network-rebuilding path on random graphs."""
+
+    @SLOW
+    @given(
+        random_edge_lists(),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_filtered_by_labels_matches_network_path(self, data, num_labels, salt):
+        n, edges = data
+        network = build_network(n, edges)
+        fast = fast_view(network)
+        label_of = {
+            node: (network.unique_id(node) * 2654435761 + salt) % num_labels
+            for node in network.nodes()
+        }
+        expected = network.filtered_by_edge(
+            lambda u, v: label_of[u] == label_of[v]
+        )
+        labels = np.fromiter(
+            (label_of[node] for node in fast.order), dtype=np.int64, count=n
+        )
+        _assert_same_filtered(fast.filtered_by_labels(labels), expected)
+
+    @SLOW
+    @given(random_edge_lists())
+    def test_edge_mask_subset_matches_network_path(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        fast = fast_view(network)
+        # Keep every second canonical edge -- an arbitrary symmetric subset.
+        kept_edges = {
+            frozenset(edge) for i, edge in enumerate(network.edges()) if i % 2 == 0
+        }
+        expected = network.filtered_by_edge(
+            lambda u, v: frozenset((u, v)) in kept_edges
+        )
+        rows, cols = fast.rows_np, fast.indices_np
+        order = fast.order
+        edge_mask = np.fromiter(
+            (
+                frozenset((order[u], order[v])) in kept_edges
+                for u, v in zip(rows.tolist(), cols.tolist())
+            ),
+            dtype=bool,
+            count=len(rows),
+        )
+        _assert_same_filtered(fast.filtered(edge_mask=edge_mask), expected)
+
+    @SLOW
+    @given(random_edge_lists())
+    def test_node_mask_matches_network_path(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        fast = fast_view(network)
+        kept = {node for node in network.nodes() if node % 3 != 0}
+        expected = network.filtered_by_edge(lambda u, v: u in kept and v in kept)
+        node_mask = np.fromiter(
+            (node in kept for node in fast.order), dtype=bool, count=n
+        )
+        _assert_same_filtered(fast.filtered(node_mask=node_mask), expected)
+
+    @SLOW
+    @given(random_edge_lists())
+    def test_empty_edge_mask_isolates_every_node(self, data):
+        n, edges = data
+        network = build_network(n, edges)
+        fast = fast_view(network)
+        expected = network.filtered_by_edge(lambda u, v: False)
+        derived = fast.filtered(edge_mask=np.zeros(len(fast.indices), dtype=bool))
+        _assert_same_filtered(derived, expected)
+        assert derived.num_edges == 0
+        assert derived.max_degree == 0
+
+    def test_single_node_network(self):
+        network = Network({"only": []})
+        fast = fast_view(network)
+        derived = fast.filtered_by_labels(np.zeros(1, dtype=np.int64))
+        _assert_same_filtered(derived, network.filtered_by_edge(lambda u, v: True))
+        assert derived.num_nodes == 1
+        assert derived.neighbor_ids == ((),)
+
+    def test_empty_network(self):
+        fast = fast_view(Network({}))
+        derived = fast.filtered_by_labels(np.zeros(0, dtype=np.int64))
+        assert derived.num_nodes == 0
+        assert derived.num_edges == 0
+        assert derived.to_network().num_nodes == 0
+
+
+# --------------------------------------------------------------------------- #
+# Fast-engine equivalence on random graphs
 # --------------------------------------------------------------------------- #
 
 
@@ -253,9 +370,13 @@ def _metrics_fingerprint(metrics):
     )
 
 
-class TestBatchedEngineProperties:
-    """The batched engine is indistinguishable from the reference scheduler
-    on arbitrary random graphs -- states, per-phase metrics, everything."""
+FAST_ENGINE_CLASSES = (BatchedScheduler, VectorizedScheduler)
+
+
+class TestFastEngineProperties:
+    """The batched and vectorized engines are indistinguishable from the
+    reference scheduler on arbitrary random graphs -- states, per-phase
+    metrics, everything."""
 
     @SLOW
     @given(random_edge_lists(max_nodes=10))
@@ -266,11 +387,12 @@ class TestBatchedEngineProperties:
             n=network.num_nodes, degree_bound=max(1, network.max_degree), output_key="c"
         )
         reference = Scheduler(network).run(pipeline)
-        batched = BatchedScheduler(network).run(pipeline)
-        assert batched.states == reference.states
-        assert _metrics_fingerprint(batched.metrics) == _metrics_fingerprint(
-            reference.metrics
-        )
+        for engine_cls in FAST_ENGINE_CLASSES:
+            candidate = engine_cls(network).run(pipeline)
+            assert candidate.states == reference.states
+            assert _metrics_fingerprint(candidate.metrics) == _metrics_fingerprint(
+                reference.metrics
+            )
 
     @SLOW
     @given(random_edge_lists(max_nodes=10), st.integers(min_value=1, max_value=4))
@@ -284,11 +406,12 @@ class TestBatchedEngineProperties:
             output_key="d",
         )
         reference = Scheduler(network).run(pipeline)
-        batched = BatchedScheduler(network).run(pipeline)
-        assert batched.states == reference.states
-        assert _metrics_fingerprint(batched.metrics) == _metrics_fingerprint(
-            reference.metrics
-        )
+        for engine_cls in FAST_ENGINE_CLASSES:
+            candidate = engine_cls(network).run(pipeline)
+            assert candidate.states == reference.states
+            assert _metrics_fingerprint(candidate.metrics) == _metrics_fingerprint(
+                reference.metrics
+            )
 
     @SLOW
     @given(random_edge_lists(max_nodes=8))
@@ -300,13 +423,14 @@ class TestBatchedEngineProperties:
         reference = color_edges(
             network, quality="superlinear", route="direct", engine="reference"
         )
-        batched = color_edges(
-            network, quality="superlinear", route="direct", engine="batched"
-        )
-        assert batched.edge_colors == reference.edge_colors
-        assert _metrics_fingerprint(batched.metrics) == _metrics_fingerprint(
-            reference.metrics
-        )
+        for engine in ("batched", "vectorized"):
+            candidate = color_edges(
+                network, quality="superlinear", route="direct", engine=engine
+            )
+            assert candidate.edge_colors == reference.edge_colors
+            assert _metrics_fingerprint(candidate.metrics) == _metrics_fingerprint(
+                reference.metrics
+            )
 
 
 # --------------------------------------------------------------------------- #
@@ -323,7 +447,7 @@ def runner_scenarios(draw) -> Scenario:
         n += 1
     seed = draw(st.integers(min_value=0, max_value=5))
     quality = draw(st.sampled_from(["superlinear", "linear"]))
-    engine = draw(st.sampled_from(["batched", "reference"]))
+    engine = draw(st.sampled_from(["batched", "reference", "vectorized"]))
     return Scenario.make(
         name=f"prop-{degree}-{n}-{seed}-{quality}-{engine}",
         graph=GraphSpec("random_regular", n=n, degree=degree, seed=seed),
