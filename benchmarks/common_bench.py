@@ -22,7 +22,13 @@ from __future__ import annotations
 import os
 from typing import Callable, Optional, Sequence
 
-from repro.experiments import ExperimentRunner, GraphSpec, Scenario, default_cache_dir
+from repro.experiments import (
+    ExperimentRunner,
+    GraphSpec,
+    Scenario,
+    default_cache_dir,
+    progress_ticker,
+)
 from repro.local_model import Network
 
 #: Quick mode: used by CI to smoke-test the harnesses in seconds.
@@ -38,11 +44,22 @@ TABLE_NUM_NODES: int = 32 if QUICK else 48
 
 
 def bench_runner(max_workers: Optional[int] = None) -> ExperimentRunner:
-    """The shared :class:`ExperimentRunner` used by the benchmark sweeps."""
+    """The shared :class:`ExperimentRunner` used by the benchmark sweeps.
+
+    Set ``REPRO_BENCH_PROGRESS=1`` to get a per-scenario stderr ticker fed
+    from the worker-pool futures (off by default).
+    """
     configured = os.environ.get("REPRO_BENCH_WORKERS")
     if max_workers is None and configured is not None:
         max_workers = int(configured)
-    return ExperimentRunner(cache_dir=default_cache_dir(), max_workers=max_workers)
+    on_progress = None
+    if os.environ.get("REPRO_BENCH_PROGRESS", "") not in ("", "0"):
+        on_progress = progress_ticker()
+    return ExperimentRunner(
+        cache_dir=default_cache_dir(),
+        max_workers=max_workers,
+        on_progress=on_progress,
+    )
 
 
 def regular_workload_spec(

@@ -210,9 +210,8 @@ class PsiSelectionPhase(BroadcastPhase):
         ctx.write_column(self.output_key, psi)
         ctx.write_column("_psi_selected", psi)
         ctx.write_value("_psi_announced", True)
-        for state, row in zip(ctx.states, counts.tolist()):
-            state["_psi_counts"] = row
-            state["_psi_waiting"] = set()
+        ctx.write_objects("_psi_counts", counts.tolist())
+        ctx.write_objects("_psi_waiting", [set() for _ in range(n)])
 
 
 def defective_color_pipeline(

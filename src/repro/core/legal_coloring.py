@@ -22,6 +22,13 @@ level.  Every vertex carries its recursion *path* (the sequence of
 ``psi``-colors it received so far); two vertices are in the same current
 subgraph exactly when their paths are equal.
 
+Node state lives in a :class:`~repro.local_model.state_table.StateTable`
+throughout: the paths are one interned path-id column (so the per-level
+subgraph filtering, the path extension, and the subgraph count are single
+array operations), and each level's scheduler pass runs through the engines'
+``run_table`` entry points -- natively columnar on the vectorized engine,
+through the exact dict view on the batched and reference engines.
+
 The Section 4.2 improvement is applied by default: an auxiliary
 ``O(Delta^2)``-coloring ``rho`` is computed once (``log* n`` rounds) and fed
 to every level's defective-coloring step, so the per-level cost depends only
@@ -31,15 +38,16 @@ on ``Delta``, not on ``n``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.local_model.batched import NetworkLike
 from repro.local_model.engine import make_scheduler
-from repro.local_model.fast_network import FastNetwork, fast_view
+from repro.local_model.fast_network import fast_view
 from repro.local_model.metrics import RunMetrics
+from repro.local_model.state_table import StateTable
 from repro.core.defective_coloring import defective_color_pipeline
 from repro.core.parameters import (
     LegalColorParameters,
@@ -103,6 +111,12 @@ class LegalColoringResult:
         The parameter preset that was used.
     bottom_degree_bound:
         The degree bound ``hat-Lambda`` at which the recursion bottomed out.
+    color_column:
+        The same coloring as ``colors``, as an ``int64`` array in the dense
+        node order of the network's
+        :class:`~repro.local_model.fast_network.FastNetwork` view -- callers
+        that post-process the coloring (the tradeoff and randomized wrappers)
+        merge palettes without a per-node pass.
     """
 
     colors: Dict[Hashable, int]
@@ -111,6 +125,7 @@ class LegalColoringResult:
     levels: List[LevelTrace] = field(default_factory=list)
     parameters: Optional[LegalColorParameters] = None
     bottom_degree_bound: int = 0
+    color_column: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def num_levels(self) -> int:
@@ -121,28 +136,6 @@ class LegalColoringResult:
     def colors_used(self) -> int:
         """Number of distinct colors actually present in the coloring."""
         return len(set(self.colors.values()))
-
-
-def _path_filtered(
-    fast: FastNetwork, states: Dict[Hashable, Dict[str, Any]]
-) -> FastNetwork:
-    """The CSR-masked sub-view keeping only edges within one recursion path.
-
-    Vertices carry their recursion path (the sequence of ``psi``-colors
-    received so far) in ``state["_path"]``; two vertices belong to the same
-    current subgraph exactly when their paths are equal.  Paths are interned
-    into dense integer labels so the edge mask is one vectorized comparison
-    -- no per-edge Python callback and no :class:`Network` rebuild.
-    """
-    label_of: Dict[Any, int] = {}
-    labels = np.empty(fast.num_nodes, dtype=np.int64)
-    for i, node in enumerate(fast.order):
-        path = states[node]["_path"]
-        label = label_of.get(path)
-        if label is None:
-            label = label_of[path] = len(label_of)
-        labels[i] = label
-    return fast.filtered_by_labels(labels)
 
 
 def run_legal_coloring(
@@ -195,7 +188,11 @@ def run_legal_coloring(
         raise InvalidParameterError("c must be at least 1")
     if network.num_nodes == 0:
         return LegalColoringResult(
-            colors={}, palette=1, metrics=RunMetrics(), parameters=params
+            colors={},
+            palette=1,
+            metrics=RunMetrics(),
+            parameters=params,
+            color_column=np.zeros(0, dtype=np.int64),
         )
     fast = fast_view(network)
     delta = fast.max_degree
@@ -208,26 +205,28 @@ def run_legal_coloring(
     params.validate(degree_bound, c)
 
     metrics = RunMetrics()
-    states: Dict[Hashable, Dict[str, Any]] = {
-        node: {"_path": ()} for node in fast.nodes()
-    }
+    # Node state is columnar: one interned path-id column for the recursion
+    # paths, plus the int columns the phases produce.  Vertices with equal
+    # interned ids are exactly the vertices with equal paths, so each level's
+    # subgraph filtering is a single label comparison over the CSR arrays.
+    table = StateTable(fast.num_nodes)
+    table.fill_path("_path", ())
 
     # ------------------------------------------------------------------ #
     # Section 4.2: auxiliary O(Delta^2)-coloring rho, computed once.
     # ------------------------------------------------------------------ #
     auxiliary_key: Optional[str] = None
     auxiliary_palette: Optional[int] = None
-    if use_auxiliary_coloring and fast.num_nodes > 0:
+    if use_auxiliary_coloring:
         aux_phase = LinialColoringPhase(
             degree_bound=max(1, delta),
             initial_palette=fast.num_nodes,
             output_key="_aux_rho",
         )
-        aux_result = make_scheduler(fast, engine=engine).run(
-            aux_phase, initial_states=states
+        table, aux_metrics = make_scheduler(fast, engine=engine).run_table(
+            aux_phase, table
         )
-        states = aux_result.states
-        metrics.merge(aux_result.metrics)
+        metrics.merge(aux_metrics)
         auxiliary_key = "_aux_rho"
         auxiliary_palette = aux_phase.final_palette
 
@@ -242,7 +241,7 @@ def run_legal_coloring(
         if params.b * params.p > current_bound or params.p < 2:
             break  # Parameters no longer valid at this degree scale; bottom out.
 
-        filtered = _path_filtered(fast, states)
+        filtered = fast.filtered_by_labels(table.path_ids("_path"))
         psi_key = f"_psi_{level}"
         pipeline, info = defective_color_pipeline(
             n=fast.num_nodes,
@@ -256,14 +255,12 @@ def run_legal_coloring(
             class_key="_path",
             output_key=psi_key,
         )
-        result = make_scheduler(filtered, engine=engine).run(
-            pipeline, initial_states=states
+        table, level_metrics = make_scheduler(filtered, engine=engine).run_table(
+            pipeline, table
         )
-        states = result.states
-        metrics.merge(result.metrics)
+        metrics.merge(level_metrics)
 
-        for node in fast.nodes():
-            states[node]["_path"] = states[node]["_path"] + (states[node][psi_key],)
+        table.append_to_paths("_path", table.get_ints(psi_key))
 
         next_bound = info.psi_defect_bound
         levels.append(
@@ -272,9 +269,9 @@ def run_legal_coloring(
                 degree_bound=current_bound,
                 phi_palette=info.phi_palette,
                 next_degree_bound=next_bound,
-                num_subgraphs=len({states[node]["_path"] for node in fast.nodes()}),
+                num_subgraphs=table.num_paths("_path"),
                 max_subgraph_degree=filtered.max_degree,
-                rounds=result.metrics.rounds,
+                rounds=level_metrics.rounds,
             )
         )
 
@@ -287,7 +284,7 @@ def run_legal_coloring(
     # ------------------------------------------------------------------ #
     # Bottom level: a legal (Lambda + 1)-coloring of every remaining subgraph.
     # ------------------------------------------------------------------ #
-    bottom_filtered = _path_filtered(fast, states)
+    bottom_filtered = fast.filtered_by_labels(table.path_ids("_path"))
     bottom_bound = max(current_bound, bottom_filtered.max_degree)
     bottom_target = bottom_bound + 1
     bottom_pipeline, _ = delta_plus_one_pipeline(
@@ -298,12 +295,10 @@ def run_legal_coloring(
         output_key="_bottom_color",
         target=bottom_target,
     )
-    if fast.num_nodes > 0:
-        bottom_result = make_scheduler(bottom_filtered, engine=engine).run(
-            bottom_pipeline, initial_states=states
-        )
-        states = bottom_result.states
-        metrics.merge(bottom_result.metrics)
+    table, bottom_metrics = make_scheduler(bottom_filtered, engine=engine).run_table(
+        bottom_pipeline, table
+    )
+    metrics.merge(bottom_metrics)
 
     # ------------------------------------------------------------------ #
     # Merge the per-level colorings into disjoint palettes (Figure 3).
@@ -315,12 +310,10 @@ def run_legal_coloring(
         theta[j] = params.p * theta[j + 1]
     palette = theta[0] if num_levels > 0 else bottom_target
 
-    colors: Dict[Hashable, int] = {}
-    for node in fast.nodes():
-        color = states[node]["_bottom_color"]
-        for j in range(num_levels):
-            color += (states[node][f"_psi_{j}"] - 1) * theta[j + 1]
-        colors[node] = color
+    color_column = table.get_ints("_bottom_color")
+    for j in range(num_levels):
+        color_column += (table.get_ints(f"_psi_{j}") - 1) * theta[j + 1]
+    colors: Dict[Hashable, int] = dict(zip(fast.order, color_column.tolist()))
 
     return LegalColoringResult(
         colors=colors,
@@ -329,6 +322,7 @@ def run_legal_coloring(
         levels=levels,
         parameters=params,
         bottom_degree_bound=bottom_bound,
+        color_column=color_column,
     )
 
 

@@ -96,10 +96,17 @@ def randomized_color_vertices(
     use_split = delta > log_n and delta >= 2
     if use_split:
         num_classes = max(2, math.ceil(delta / log_n))
-        assignment: Dict[Hashable, int] = {}
-        for node in fast.nodes():
-            rng = random.Random(f"{seed}:{fast.unique_id(node)}")
-            assignment[node] = rng.randint(1, num_classes)
+        # Per-vertex randomness is keyed by (seed, unique id), so the split
+        # is reproducible and engine-independent; the draw itself is the only
+        # per-node Python step left in this driver.
+        labels = np.fromiter(
+            (
+                random.Random(f"{seed}:{unique_id}").randint(1, num_classes)
+                for unique_id in fast.unique_ids
+            ),
+            dtype=np.int64,
+            count=fast.num_nodes,
+        )
         # One round: every vertex announces its class to its neighbors.
         metrics.add_phase(
             PhaseMetrics(
@@ -110,16 +117,11 @@ def randomized_color_vertices(
                 max_message_words=1,
             )
         )
-        split_defect = _intra_class_defect(fast, assignment)
-        labels = np.fromiter(
-            (assignment[node] for node in fast.order),
-            dtype=np.int64,
-            count=fast.num_nodes,
-        )
+        split_defect = _intra_class_defect(fast, labels)
         class_network = fast.filtered_by_labels(labels)
     else:
         num_classes = 1
-        assignment = {node: 1 for node in fast.nodes()}
+        labels = np.ones(fast.num_nodes, dtype=np.int64)
         split_defect = delta
         class_network = fast
 
@@ -131,10 +133,10 @@ def randomized_color_vertices(
     metrics.merge(per_class.metrics)
 
     per_class_palette = per_class.palette
-    colors = {
-        node: (assignment[node] - 1) * per_class_palette + per_class.colors[node]
-        for node in fast.nodes()
-    }
+    # Both columns follow fast.order, so the palette merge is array work.
+    color_column = (labels - 1) * per_class_palette + per_class.color_column
+    colors = dict(zip(fast.order, color_column.tolist()))
+    assignment: Dict[Hashable, int] = dict(zip(fast.order, labels.tolist()))
     return RandomizedColoringResult(
         colors=colors,
         palette=num_classes * per_class_palette,
@@ -147,14 +149,10 @@ def randomized_color_vertices(
     )
 
 
-def _intra_class_defect(fast: FastNetwork, assignment: Dict[Hashable, int]) -> int:
+def _intra_class_defect(fast: FastNetwork, labels: np.ndarray) -> int:
     """The maximum number of same-class neighbors over all vertices."""
-    worst = 0
-    for i, node in enumerate(fast.order):
-        same = sum(
-            1
-            for neighbor in fast.neighbor_ids[i]
-            if assignment[neighbor] == assignment[node]
-        )
-        worst = max(worst, same)
-    return worst
+    if fast.num_nodes == 0 or len(fast.indices) == 0:
+        return 0
+    rows, cols = fast.rows_np, fast.indices_np
+    same = labels[rows] == labels[cols]
+    return int(np.bincount(rows[same], minlength=fast.num_nodes).max())

@@ -21,6 +21,7 @@ from repro.local_model.batched import NetworkLike
 from repro.local_model.engine import make_scheduler
 from repro.local_model.fast_network import fast_view
 from repro.local_model.metrics import RunMetrics
+from repro.local_model.state_table import StateTable
 from repro.core.legal_coloring import LegalColoringResult, run_legal_coloring
 from repro.core.parameters import LegalColorParameters, params_for_few_rounds
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
@@ -100,19 +101,16 @@ def tradeoff_color_vertices(
             target_defect=target_defect,
             output_key="_tradeoff_split",
         )
-        result = make_scheduler(fast, engine=engine).run(pipeline)
-        metrics.merge(result.metrics)
-        assignment = result.extract("_tradeoff_split")
-        labels = np.fromiter(
-            (assignment[node] for node in fast.order),
-            dtype=np.int64,
-            count=fast.num_nodes,
+        table, split_metrics = make_scheduler(fast, engine=engine).run_table(
+            pipeline, StateTable(fast.num_nodes)
         )
-        class_network = fast.filtered_by_labels(labels)
+        metrics.merge(split_metrics)
+        split_column = table.get_ints("_tradeoff_split")
+        class_network = fast.filtered_by_labels(split_column)
         split_defect_bound = target_defect
     else:
         split_palette = 1
-        assignment = {node: 1 for node in fast.nodes()}
+        split_column = np.ones(fast.num_nodes, dtype=np.int64)
         class_network = fast
         split_defect_bound = delta
 
@@ -124,10 +122,10 @@ def tradeoff_color_vertices(
     metrics.merge(per_class.metrics)
 
     per_class_palette = per_class.palette
-    colors = {
-        node: (assignment[node] - 1) * per_class_palette + per_class.colors[node]
-        for node in fast.nodes()
-    }
+    # Both columns follow fast.order (class_network shares the parent view's
+    # node order), so the Figure 3 palette merge is pure array arithmetic.
+    color_column = (split_column - 1) * per_class_palette + per_class.color_column
+    colors = dict(zip(fast.order, color_column.tolist()))
     return TradeoffColoringResult(
         colors=colors,
         palette=split_palette * per_class_palette,

@@ -38,7 +38,12 @@ from repro.experiments.cache import (
     ResultCache,
     default_cache_dir,
 )
-from repro.experiments.runner import ExperimentRunner, ScenarioResult, run_scenario
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ScenarioResult,
+    progress_ticker,
+    run_scenario,
+)
 from repro.experiments.scenarios import (
     ALGORITHMS,
     G_FUNCTIONS,
@@ -63,6 +68,7 @@ __all__ = [
     "ScenarioResult",
     "coloring_digest",
     "default_cache_dir",
+    "progress_ticker",
     "register_algorithm",
     "register_graph_family",
     "run_scenario",

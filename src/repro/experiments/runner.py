@@ -15,19 +15,46 @@ objects and produces one :class:`ScenarioResult` per scenario, in input order:
 Duplicate scenarios (same cache token) are executed only once per ``run``
 call.  Set ``max_workers=0`` to force serial in-process execution -- useful
 under hypothesis or in debuggers.
+
+Sweep-level progress is reported through an optional ``on_progress`` callback
+(off by default): it fires once per scenario -- immediately for cache hits,
+from the process-pool futures as they complete for fresh executions -- with
+``(done, total, scenario, cached)``.  :func:`progress_ticker` builds a
+ready-made stderr ticker callback.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, TextIO
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.scenarios import ALGORITHMS, Scenario
+
+#: Signature of the sweep progress callback: ``(done, total, scenario, cached)``.
+ProgressCallback = Callable[[int, int, Scenario, bool], None]
+
+
+def progress_ticker(stream: Optional[TextIO] = None) -> ProgressCallback:
+    """A ready-made ``on_progress`` callback: one status line per completion.
+
+    Writes ``[done/total] scenario-name (cached)`` lines to ``stream``
+    (default ``sys.stderr``, resolved at call time so pytest's capture
+    replacement is honored).
+    """
+
+    def tick(done: int, total: int, scenario: Scenario, cached: bool) -> None:
+        out = stream if stream is not None else sys.stderr
+        suffix = " (cached)" if cached else ""
+        out.write(f"[{done}/{total}] {scenario.name}{suffix}\n")
+        out.flush()
+
+    return tick
 
 
 def run_scenario(scenario: Scenario) -> Dict[str, Any]:
@@ -105,31 +132,59 @@ class ExperimentRunner:
     max_workers:
         Worker process count.  ``None`` uses ``os.cpu_count()`` (capped by
         the number of scenarios); ``0`` or ``1`` runs serially in-process.
+    on_progress:
+        Default sweep-progress callback used by :meth:`run` when none is
+        passed explicitly; ``None`` (the default) disables reporting.
     """
 
     def __init__(
         self,
         cache_dir: Optional[os.PathLike] = None,
         max_workers: Optional[int] = None,
+        on_progress: Optional[ProgressCallback] = None,
     ) -> None:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
+        self.on_progress = on_progress
 
-    def run(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
-        """Run every scenario (cache-first, then in parallel), in input order."""
+    def run(
+        self,
+        scenarios: Sequence[Scenario],
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> List[ScenarioResult]:
+        """Run every scenario (cache-first, then in parallel), in input order.
+
+        ``on_progress`` (or the runner's default) is invoked once per
+        scenario with ``(done, total, scenario, cached)``: immediately for
+        cache hits and duplicates, and from the pool futures in completion
+        order for fresh executions.  ``done`` counts monotonically up to
+        ``len(scenarios)``.
+        """
+        on_progress = on_progress if on_progress is not None else self.on_progress
         scenarios = list(scenarios)
         tokens = [scenario.cache_token() for scenario in scenarios]
+        total = len(scenarios)
+        done = 0
+
+        def report(index: int, cached: bool) -> None:
+            nonlocal done
+            done += 1
+            if on_progress is not None:
+                on_progress(done, total, scenarios[index], cached)
 
         payloads: Dict[str, Dict[str, Any]] = {}
         cached_tokens = set()
         if self.cache is not None:
             for scenario, token in zip(scenarios, tokens):
-                if token in payloads:
+                if token in payloads or token in cached_tokens:
                     continue
                 hit = self.cache.get(token)
                 if hit is not None:
                     payloads[token] = hit
                     cached_tokens.add(token)
+        for index, token in enumerate(tokens):
+            if token in cached_tokens:
+                report(index, cached=True)
 
         pending: List[int] = []
         pending_tokens = set()
@@ -143,17 +198,23 @@ class ExperimentRunner:
             if workers is None:
                 workers = min(len(pending), os.cpu_count() or 1)
             if workers and workers > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(
-                        pool.map(run_scenario, [scenarios[i] for i in pending])
-                    )
+                fresh = self._run_pool(scenarios, pending, workers, report)
             else:
-                fresh = [run_scenario(scenarios[i]) for i in pending]
+                fresh = []
+                for index in pending:
+                    fresh.append(run_scenario(scenarios[index]))
+                    report(index, cached=False)
             for index, payload in zip(pending, fresh):
                 token = tokens[index]
                 payloads[token] = payload
                 if self.cache is not None:
                     self.cache.put(token, scenarios[index].key(), payload)
+
+        # Duplicates of freshly executed scenarios resolve last (their
+        # payload was computed once, under the executing index).
+        for index, token in enumerate(tokens):
+            if token in pending_tokens and index not in pending:
+                report(index, cached=False)
 
         return [
             ScenarioResult(
@@ -163,3 +224,30 @@ class ExperimentRunner:
             )
             for scenario, token in zip(scenarios, tokens)
         ]
+
+    @staticmethod
+    def _run_pool(
+        scenarios: Sequence[Scenario],
+        pending: Sequence[int],
+        workers: int,
+        report: Callable[[int, bool], None],
+    ) -> List[Dict[str, Any]]:
+        """Shard ``pending`` across a process pool, reporting as futures land.
+
+        Results are returned in ``pending`` order regardless of completion
+        order.
+        """
+        results: Dict[int, Dict[str, Any]] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_index = {
+                pool.submit(run_scenario, scenarios[index]): index
+                for index in pending
+            }
+            outstanding = set(future_index)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = future_index[future]
+                    results[index] = future.result()
+                    report(index, cached=False)
+        return [results[index] for index in pending]

@@ -47,6 +47,7 @@ from repro.local_model.metrics import RunMetrics
 from repro.local_model.network import Network, node_sort_key
 from repro.local_model.node import Node
 from repro.local_model.scheduler import PhaseResult, Scheduler
+from repro.local_model.state_table import StateTable
 from repro.local_model.vectorized import VectorContext, VectorizedScheduler
 from repro.local_model.line_graph_sim import LineGraphSimulationResult, simulate_on_line_graph
 
@@ -65,6 +66,7 @@ __all__ = [
     "PhaseResult",
     "RunMetrics",
     "Scheduler",
+    "StateTable",
     "SynchronousPhase",
     "VectorContext",
     "VectorizedScheduler",

@@ -27,7 +27,7 @@ and must not be mutated by receivers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Mapping, Optional, Union
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import RoundLimitExceeded, SimulationError
 from repro.local_model.algorithm import (
@@ -42,6 +42,7 @@ from repro.local_model.messages import payload_size_words
 from repro.local_model.metrics import PhaseMetrics, RunMetrics
 from repro.local_model.network import Network
 from repro.local_model.scheduler import PhaseResult
+from repro.local_model.state_table import StateTable
 
 #: Schedulers accept either representation; a FastNetwork is used as-is, so
 #: CSR-masked sub-networks (FastNetwork.filtered) run without any rebuild.
@@ -123,36 +124,78 @@ class BatchedScheduler:
                 if index is not None:
                     states[index].update(dict(seed))
 
+        metrics = self._execute(algorithm, states, globals_override)
+        return PhaseResult(
+            states={order[i]: states[i] for i in range(n)},
+            metrics=metrics,
+        )
+
+    def run_table(
+        self,
+        algorithm: Union[SynchronousPhase, PhasePipeline],
+        table: StateTable,
+        globals_override: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[StateTable, RunMetrics]:
+        """Run a phase or pipeline with a :class:`StateTable` as node state.
+
+        ``table`` rows must be in this scheduler's dense node order (the
+        ``order`` of its :class:`~repro.local_model.fast_network.FastNetwork`);
+        the input table is consumed and a table holding the final states is
+        returned together with the run's metrics.  The result is
+        *bit-identical* (up to the exact dict materialization of
+        :meth:`StateTable.to_dicts`) to seeding :meth:`run` with the table's
+        dict view -- that is precisely how this base implementation executes;
+        the vectorized scheduler overrides it to keep the columns native.
+        """
+        fast = self._fast
+        if table.num_rows != fast.num_nodes:
+            raise SimulationError(
+                f"state table has {table.num_rows} rows, network has "
+                f"{fast.num_nodes} nodes"
+            )
+        states = table.to_dicts()
+        metrics = self._execute(algorithm, states, globals_override)
+        return StateTable.from_dicts(states), metrics
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _resolved_globals(
+        self, globals_override: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
         global_values = dict(self._globals)
         if globals_override:
             global_values.update(globals_override)
+        return global_values
 
+    def _build_views(self, global_values: Mapping[str, Any]) -> List[LocalView]:
+        fast = self._fast
+        order = fast.order
         unique_ids = fast.unique_ids
         neighbor_ids = fast.neighbor_ids
-        views: List[LocalView] = [
+        return [
             LocalView(
                 node_id=order[i],
                 unique_id=unique_ids[i],
                 neighbors=neighbor_ids[i],
                 globals=global_values,
             )
-            for i in range(n)
+            for i in range(fast.num_nodes)
         ]
 
+    def _execute(
+        self,
+        algorithm: Union[SynchronousPhase, PhasePipeline],
+        states: List[Dict[str, Any]],
+        globals_override: Optional[Mapping[str, Any]],
+    ) -> RunMetrics:
+        views = self._build_views(self._resolved_globals(globals_override))
         metrics = RunMetrics()
         phases = algorithm.phases if isinstance(algorithm, PhasePipeline) else (algorithm,)
         for phase in phases:
-            phase_metrics = self._run_single_phase(phase, states, views)
-            metrics.add_phase(phase_metrics)
-
-        return PhaseResult(
-            states={order[i]: states[i] for i in range(n)},
-            metrics=metrics,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
+            metrics.add_phase(self._run_single_phase(phase, states, views))
+        return metrics
 
     def _run_single_phase(
         self,

@@ -88,8 +88,8 @@ class FastNetwork:
         "unique_ids",
         "indptr",
         "indices",
-        "neighbor_ids",
-        "neighbor_id_sets",
+        "_neighbor_ids",
+        "_neighbor_id_sets",
         "degrees",
         "num_nodes",
         "max_degree",
@@ -125,8 +125,8 @@ class FastNetwork:
             indptr.append(offset)
         self.indptr = indptr
         self.indices = indices
-        self.neighbor_ids = tuple(neighbor_ids)
-        self.neighbor_id_sets = tuple(neighbor_id_sets)
+        self._neighbor_ids = tuple(neighbor_ids)
+        self._neighbor_id_sets = tuple(neighbor_id_sets)
         self.degrees = degrees
 
     # ------------------------------------------------------------------ #
@@ -149,6 +149,32 @@ class FastNetwork:
     def neighbor_indices(self, i: int) -> array:
         """Dense neighbor indices of node ``i`` (a zero-copy CSR slice)."""
         return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    @property
+    def neighbor_ids(self) -> Tuple[Tuple[Hashable, ...], ...]:
+        """Per-node neighbor *identifier* tuples (lazy on derived views).
+
+        Views compiled from a :class:`Network` share the network's tuples;
+        CSR-masked views materialize them from the CSR arrays on first use --
+        the fully vectorized execution path never needs them, so deriving a
+        recursion level's sub-view stays free of per-node Python work.
+        """
+        if self._neighbor_ids is None:
+            order, indptr, indices = self.order, self.indptr, self.indices
+            self._neighbor_ids = tuple(
+                tuple(order[j] for j in indices[indptr[i] : indptr[i + 1]])
+                for i in range(self.num_nodes)
+            )
+        return self._neighbor_ids
+
+    @property
+    def neighbor_id_sets(self) -> Tuple[frozenset, ...]:
+        """Per-node neighbor-identifier frozensets (lazy on derived views)."""
+        if self._neighbor_id_sets is None:
+            self._neighbor_id_sets = tuple(
+                frozenset(neighbors) for neighbors in self.neighbor_ids
+            )
+        return self._neighbor_id_sets
 
     # ------------------------------------------------------------------ #
     # Numpy mirrors (lazy, cached; the substrate of the vectorized engine)
@@ -289,20 +315,10 @@ class FastNetwork:
         derived.indptr = _int64_array(new_indptr)
         derived.degrees = _int64_array(new_degrees)
         derived.max_degree = int(new_degrees.max()) if self.num_nodes else 0
-
-        order = self.order
-        neighbor_ids = []
-        neighbor_id_sets = []
-        position = 0
-        for degree in new_degrees:
-            neighbors = tuple(
-                order[j] for j in new_indices[position : position + degree]
-            )
-            neighbor_ids.append(neighbors)
-            neighbor_id_sets.append(frozenset(neighbors))
-            position += degree
-        derived.neighbor_ids = tuple(neighbor_ids)
-        derived.neighbor_id_sets = tuple(neighbor_id_sets)
+        # Neighbor-identifier structures are materialized lazily (see the
+        # neighbor_ids property): the vectorized engine never touches them.
+        derived._neighbor_ids = None
+        derived._neighbor_id_sets = None
         return derived
 
     def to_network(self) -> Network:

@@ -48,6 +48,12 @@ class RunMetrics:
         independent of ``Delta``.
     phases:
         Per-phase breakdown, in execution order.
+    fallback_phase_names:
+        Names of the phases that the vectorized engine executed on its
+        batched fallback path, in execution order (empty for the other
+        engines, and for fully vectorized runs).  Purely informational: it
+        is excluded from equality and from the engine-equivalence contract,
+        which compares :meth:`summary` and the per-phase breakdown.
     """
 
     rounds: int = 0
@@ -55,6 +61,7 @@ class RunMetrics:
     total_words: int = 0
     max_message_words: int = 0
     phases: List[PhaseMetrics] = field(default_factory=list)
+    fallback_phase_names: List[str] = field(default_factory=list, compare=False)
 
     def add_phase(self, phase: PhaseMetrics) -> None:
         """Fold one phase's metrics into the aggregate."""
@@ -68,6 +75,7 @@ class RunMetrics:
         """Fold another run's metrics (all of its phases) into this one."""
         for phase in other.phases:
             self.add_phase(phase)
+        self.fallback_phase_names.extend(other.fallback_phase_names)
         if not other.phases:
             # The other run may carry only aggregate values (e.g. analytic
             # adjustments); account them as an anonymous phase.

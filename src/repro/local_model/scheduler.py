@@ -24,6 +24,7 @@ from repro.local_model.messages import payload_size_words
 from repro.local_model.metrics import PhaseMetrics, RunMetrics
 from repro.local_model.network import Network
 from repro.local_model.node import Node
+from repro.local_model.state_table import StateTable
 
 
 @dataclass
@@ -126,6 +127,29 @@ class Scheduler:
             states={node_id: node.state for node_id, node in nodes.items()},
             metrics=metrics,
         )
+
+    def run_table(self, algorithm, table, globals_override=None):
+        """Run with a :class:`~repro.local_model.state_table.StateTable` state.
+
+        The reference scheduler has no columnar execution path -- this is the
+        exact dict-view boundary: the table is materialized into per-node
+        dictionaries (rows follow the network's deterministic node order),
+        :meth:`run` executes unchanged, and the final states are re-absorbed.
+        Returns ``(table, metrics)`` like the other engines' ``run_table``.
+        """
+        order = self.network.nodes()
+        if table.num_rows != len(order):
+            raise SimulationError(
+                f"state table has {table.num_rows} rows, network has "
+                f"{len(order)} nodes"
+            )
+        result = self.run(
+            algorithm,
+            initial_states=table.to_mapping(order),
+            globals_override=globals_override,
+        )
+        final = StateTable.from_dicts([result.states[node] for node in order])
+        return final, result.metrics
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -29,28 +29,32 @@ all nodes halt together) is fully described by its round count.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError, RoundLimitExceeded
+from repro.exceptions import InvalidParameterError, RoundLimitExceeded, SimulationError
+from repro.local_model.algorithm import LocalView, PhasePipeline, SynchronousPhase
 from repro.local_model.batched import BatchedScheduler
 from repro.local_model.fast_network import FastNetwork
-from repro.local_model.metrics import PhaseMetrics
+from repro.local_model.metrics import PhaseMetrics, RunMetrics
+from repro.local_model.state_table import StateTable
 
 
 class VectorContext:
     """Everything a ``vector_run`` kernel may touch.
 
+    The context hides the backing representation of the node states: when a
+    pipeline runs through :meth:`VectorizedScheduler.run_table` the backing
+    is a :class:`~repro.local_model.state_table.StateTable` and column reads
+    and writes are pure array operations; otherwise it is the dense list of
+    per-node state dictionaries.  Kernels use the accessors below and work
+    identically (bit for bit) on both backings.
+
     Attributes
     ----------
     fast:
         The CSR view the phase runs on.
-    states:
-        The per-node state dictionaries in dense-index order.  Kernels read
-        their input column(s) through :meth:`column` and write results back
-        through :meth:`write_column` / :meth:`write_value`; direct access is
-        allowed for state values that are not scalars (lists, sets).
     metrics:
         The phase's metrics object, filled in through the charging helpers.
     round_limit:
@@ -62,27 +66,60 @@ class VectorContext:
     def __init__(
         self,
         fast: FastNetwork,
-        states: List[Dict[str, Any]],
+        states: Optional[List[Dict[str, Any]]],
         metrics: PhaseMetrics,
         round_limit: int,
         phase_name: str,
+        table: Optional[StateTable] = None,
+        views_provider: Optional[Callable[[], List[LocalView]]] = None,
     ) -> None:
+        if (states is None) == (table is None):
+            raise SimulationError(
+                "VectorContext requires exactly one backing: states or table"
+            )
         self.fast = fast
-        self.states = states
+        self._states = states
+        self.table = table
         self.metrics = metrics
         self.round_limit = round_limit
         self.phase_name = phase_name
+        self._views_provider = views_provider
 
     # ------------------------------------------------------------------ #
     # State columns
     # ------------------------------------------------------------------ #
 
+    @property
+    def states(self) -> List[Dict[str, Any]]:
+        """The per-node state dictionaries (dict-backed contexts only).
+
+        Kept for kernels that genuinely need per-node Python values; prefer
+        the column accessors, which also work on the columnar backing.
+        """
+        if self._states is None:
+            raise SimulationError(
+                f"phase {self.phase_name!r} asked for per-node state dicts on a "
+                "columnar (StateTable) run; use the VectorContext column accessors"
+            )
+        return self._states
+
+    @property
+    def views(self) -> List[LocalView]:
+        """The per-node :class:`LocalView` objects (built lazily)."""
+        if self._views_provider is None:
+            raise SimulationError(
+                f"phase {self.phase_name!r} asked for LocalViews but none are available"
+            )
+        return self._views_provider()
+
     def column(self, key: str) -> np.ndarray:
-        """Gather ``state[key]`` over all nodes into an ``int64`` array."""
+        """Gather ``state[key]`` over all nodes into a fresh ``int64`` array."""
+        if self.table is not None:
+            return self.table.get_ints(key)
         return np.fromiter(
-            (state[key] for state in self.states),
+            (state[key] for state in self._states),
             dtype=np.int64,
-            count=len(self.states),
+            count=len(self._states),
         )
 
     def unique_ids(self) -> np.ndarray:
@@ -91,13 +128,52 @@ class VectorContext:
 
     def write_column(self, key: str, values: np.ndarray) -> None:
         """Scatter ``values`` into ``state[key]`` as plain Python ints."""
-        for state, value in zip(self.states, values.tolist()):
+        if self.table is not None:
+            self.table.set_ints(key, values)
+            return
+        for state, value in zip(self._states, values.tolist()):
             state[key] = value
 
     def write_value(self, key: str, value: Any) -> None:
         """Write the same (immutable) value into ``state[key]`` everywhere."""
-        for state in self.states:
+        if self.table is not None:
+            if type(value) is int:
+                self.table.fill_int(key, value)
+            else:
+                self.table.fill_object(key, value)
+            return
+        for state in self._states:
             state[key] = value
+
+    def write_objects(self, key: str, values: List[Any]) -> None:
+        """Write one (arbitrary) Python value per node into ``state[key]``."""
+        if self.table is not None:
+            self.table.set_objects(key, values)
+            return
+        for state, value in zip(self._states, values):
+            state[key] = value
+
+    def read_values(self, key: str) -> List[Any]:
+        """Gather ``state[key]`` over all nodes as plain Python values."""
+        if self.table is not None:
+            return self.table.get_values(key)
+        return [state[key] for state in self._states]
+
+    def write_values(self, key: str, values: List[Any]) -> None:
+        """Write per-node Python values, re-typing the column as needed."""
+        if self.table is not None:
+            self.table.set_values(key, values)
+            return
+        for state, value in zip(self._states, values):
+            state[key] = value
+
+    def copy_key(self, source_key: str, target_key: str) -> None:
+        """``state[target] = state[source]`` on every node, kind-preserving."""
+        if self.table is not None:
+            self.table.copy_column(source_key, target_key)
+            return
+        for state in self._states:
+            state[target_key] = state[source_key]
 
     # ------------------------------------------------------------------ #
     # Adjacency gathers
@@ -186,19 +262,92 @@ def check_color_range(colors: np.ndarray, palette: int, template: str) -> None:
 class VectorizedScheduler(BatchedScheduler):
     """Runs declared color kernels as numpy array programs; falls back otherwise.
 
-    Constructor and :meth:`run` are inherited unchanged from
-    :class:`~repro.local_model.batched.BatchedScheduler`; only the per-phase
-    execution differs.  A phase executes vectorized exactly when it sets
-    ``supports_vectorized = True`` and provides ``vector_run``; every other
-    phase (including every user-defined phase) runs on the batched path and
-    therefore behaves identically to the ``"batched"`` engine.
+    The constructor and the :meth:`run` / :meth:`run_table` signatures are
+    those of :class:`~repro.local_model.batched.BatchedScheduler`; only the
+    per-phase execution differs.  A phase executes vectorized exactly when it
+    sets ``supports_vectorized = True`` and provides ``vector_run``; every
+    other phase (including every user-defined phase) runs on the batched path
+    and therefore behaves identically to the ``"batched"`` engine.
+
+    Dispatch is resolved **once per pipeline** by :meth:`_compile` (the plan
+    is cached on the pipeline object), not per phase execution.  Every phase
+    that takes the batched path is recorded: cumulatively on the scheduler
+    (:attr:`fallback_phases` / :attr:`fallback_phase_names`) and per run on
+    ``RunMetrics.fallback_phase_names`` -- a fully vectorized run reports an
+    empty list, which is what the zero-fallback tests and the end-to-end
+    benchmark assert.
+
+    :meth:`run_table` is the engine's native entry point: the
+    :class:`~repro.local_model.state_table.StateTable` columns feed the
+    kernels directly, per-node state dictionaries (and the per-node
+    :class:`~repro.local_model.algorithm.LocalView` objects) are materialized
+    only if some phase actually falls back.
     """
 
-    def _run_single_phase(self, phase, states, views) -> PhaseMetrics:
-        vector_run = getattr(phase, "vector_run", None)
-        if vector_run is None or not getattr(phase, "supports_vectorized", False):
-            return super()._run_single_phase(phase, states, views)
+    def __init__(
+        self,
+        network,
+        globals_extra: Optional[Mapping[str, Any]] = None,
+        round_limit_factor: int = 1,
+    ) -> None:
+        super().__init__(
+            network,
+            globals_extra=globals_extra,
+            round_limit_factor=round_limit_factor,
+        )
+        #: Number of phase executions that fell back to the batched path
+        #: (cumulative over every run of this scheduler instance).
+        self.fallback_phases: int = 0
+        #: Names of those phases, in execution order.
+        self.fallback_phase_names: List[str] = []
 
+    # ------------------------------------------------------------------ #
+    # Pipeline compilation (one-time dispatch resolution)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _resolve_vector_run(phase: SynchronousPhase):
+        if getattr(phase, "supports_vectorized", False):
+            return getattr(phase, "vector_run", None)
+        return None
+
+    @classmethod
+    def _compile(
+        cls, algorithm: Union[SynchronousPhase, PhasePipeline]
+    ) -> Tuple[Tuple[SynchronousPhase, Any], ...]:
+        """The ``(phase, vector_run-or-None)`` execution plan of ``algorithm``.
+
+        For a :class:`PhasePipeline` the plan is computed once and cached on
+        the pipeline object (dispatch does not depend on the scheduler
+        instance), so repeated runs of the same pipeline skip re-resolution.
+        """
+        if isinstance(algorithm, PhasePipeline):
+            phases = algorithm.phases
+            cached = getattr(algorithm, "_vector_plan", None)
+            if cached is not None and cached[0] == phases:
+                return cached[1]
+            plan = tuple((phase, cls._resolve_vector_run(phase)) for phase in phases)
+            algorithm._vector_plan = (phases, plan)
+            return plan
+        return ((algorithm, cls._resolve_vector_run(algorithm)),)
+
+    def _note_fallback(self, phase: SynchronousPhase, metrics: RunMetrics) -> None:
+        self.fallback_phases += 1
+        self.fallback_phase_names.append(phase.name)
+        metrics.fallback_phase_names.append(phase.name)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _run_vector_phase(
+        self,
+        phase: SynchronousPhase,
+        vector_run,
+        states: Optional[List[Dict[str, Any]]] = None,
+        table: Optional[StateTable] = None,
+        views_provider: Optional[Callable[[], List[LocalView]]] = None,
+    ) -> PhaseMetrics:
         fast = self._fast
         phase_metrics = PhaseMetrics(name=phase.name)
         if fast.num_nodes == 0:
@@ -207,10 +356,99 @@ class VectorizedScheduler(BatchedScheduler):
             fast.num_nodes, fast.max_degree
         )
         context = VectorContext(
-            fast, states, phase_metrics, round_limit, phase.name
+            fast,
+            states,
+            phase_metrics,
+            round_limit,
+            phase.name,
+            table=table,
+            views_provider=views_provider,
         )
         vector_run(context)
         return phase_metrics
+
+    def _execute(
+        self,
+        algorithm: Union[SynchronousPhase, PhasePipeline],
+        states: List[Dict[str, Any]],
+        globals_override: Optional[Mapping[str, Any]],
+    ) -> RunMetrics:
+        """Dict-backed execution (the :meth:`run` path), plan-driven."""
+        plan = self._compile(algorithm)
+        global_values = self._resolved_globals(globals_override)
+        views: Optional[List[LocalView]] = None
+
+        def views_provider() -> List[LocalView]:
+            nonlocal views
+            if views is None:
+                views = self._build_views(global_values)
+            return views
+
+        metrics = RunMetrics()
+        for phase, vector_run in plan:
+            if vector_run is None:
+                phase_metrics = self._run_single_phase(
+                    phase, states, views_provider()
+                )
+                self._note_fallback(phase, metrics)
+            else:
+                phase_metrics = self._run_vector_phase(
+                    phase, vector_run, states=states, views_provider=views_provider
+                )
+            metrics.add_phase(phase_metrics)
+        return metrics
+
+    def run_table(
+        self,
+        algorithm: Union[SynchronousPhase, PhasePipeline],
+        table: StateTable,
+        globals_override: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[StateTable, RunMetrics]:
+        """Run with the :class:`StateTable` as the *native* node state.
+
+        Vectorized phases operate directly on the table's columns; a phase
+        that falls back materializes the dict view once, runs batched, and
+        the columns are re-absorbed before the next vectorized phase.  On a
+        fully vectorized pipeline no per-node dictionary (and no per-node
+        ``LocalView``) is ever created.
+        """
+        fast = self._fast
+        if table.num_rows != fast.num_nodes:
+            raise SimulationError(
+                f"state table has {table.num_rows} rows, network has "
+                f"{fast.num_nodes} nodes"
+            )
+        plan = self._compile(algorithm)
+        global_values = self._resolved_globals(globals_override)
+        views: Optional[List[LocalView]] = None
+
+        def views_provider() -> List[LocalView]:
+            nonlocal views
+            if views is None:
+                views = self._build_views(global_values)
+            return views
+
+        metrics = RunMetrics()
+        states: Optional[List[Dict[str, Any]]] = None
+        for phase, vector_run in plan:
+            if vector_run is None:
+                if states is None:
+                    states = table.to_dicts()
+                phase_metrics = self._run_single_phase(
+                    phase, states, views_provider()
+                )
+                self._note_fallback(phase, metrics)
+            else:
+                if states is not None:
+                    table = StateTable.from_dicts(states)
+                    states = None
+                phase_metrics = self._run_vector_phase(
+                    phase, vector_run, table=table, views_provider=views_provider
+                )
+            metrics.add_phase(phase_metrics)
+        if states is not None:
+            table = StateTable.from_dicts(states)
+        return table, metrics
 
 
 # --------------------------------------------------------------------------- #

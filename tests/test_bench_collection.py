@@ -1,0 +1,46 @@
+"""Regression: ``pytest benchmarks/`` must actually collect the harnesses.
+
+The benchmark files are named ``bench_*.py`` (so the tier-1 root run skips
+them), which used to make ``pytest benchmarks/`` collect *nothing* and exit
+green without running a single smoke path.  ``benchmarks/conftest.py`` fixes
+that; these subprocess tests pin both sides of the behavior.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _collect_only(*args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", "-p", "no:cacheprovider", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    return completed.stdout
+
+
+def test_pytest_benchmarks_collects_the_bench_modules():
+    output = _collect_only("benchmarks")
+    assert "bench_engine_speedup.py::test_engine_speedup" in output
+    assert "0 tests collected" not in output
+
+
+def test_root_run_still_skips_the_benchmarks():
+    # The tier-1 gate (bare ``pytest`` from the repo root) must not start
+    # executing multi-minute benchmarks.
+    output = _collect_only()
+    assert "benchmarks/bench_" not in output

@@ -265,6 +265,75 @@ class TestBaselineEquivalence:
         )
 
 
+class TestVectorizedFallbackAccounting:
+    """The Legal-Color pipeline runs fully vectorized -- zero batched fallbacks.
+
+    The whole point of the columnar state store is that no phase of the
+    Legal-Color pipeline family hands execution back to per-node Python; the
+    ``fallback_phases`` counter on :class:`VectorizedScheduler` (and the
+    per-run ``RunMetrics.fallback_phase_names`` log) make that a testable
+    invariant instead of a performance anecdote.
+    """
+
+    def test_legal_color_pipelines_have_zero_fallbacks(self, grid_network):
+        from repro.local_model import StateTable, fast_view
+
+        scheduler = VectorizedScheduler(grid_network)
+        n = grid_network.num_nodes
+        degree = max(2, grid_network.max_degree)
+        # The three pipeline families Procedure Legal-Color is built from:
+        # the auxiliary/defective pipelines of each level and the bottom
+        # (Delta + 1)-coloring, including the zero-round glue phases.
+        pipelines = [
+            defective_color_pipeline(n=n, b=1, p=2, Lambda=degree, c=degree)[0],
+            defective_coloring_pipeline(
+                n=n, degree_bound=degree, target_defect=2, output_key="d"
+            )[0],
+            delta_plus_one_pipeline(n=n, degree_bound=degree, output_key="c")[0],
+        ]
+        table = StateTable(n)
+        for pipeline in pipelines:
+            table, metrics = scheduler.run_table(pipeline, table)
+            assert metrics.fallback_phase_names == []
+        assert scheduler.fallback_phases == 0
+        assert scheduler.fallback_phase_names == []
+        assert table.to_mapping(fast_view(grid_network).order)  # states produced
+
+    def test_end_to_end_legal_coloring_reports_zero_fallbacks(self, small_regular):
+        result = color_vertices(small_regular, c=4, engine="vectorized")
+        assert result.metrics.fallback_phase_names == []
+
+    def test_undeclared_phase_is_counted_and_logged(self, triangle):
+        from repro.local_model import BroadcastPhase, SILENT
+
+        class OneShot(BroadcastPhase):
+            name = "one-shot"
+
+            def broadcast(self, view, state, round_index):
+                return SILENT
+
+            def receive(self, view, state, inbox, round_index):
+                return True
+
+        scheduler = VectorizedScheduler(triangle)
+        result = scheduler.run(OneShot())
+        assert scheduler.fallback_phases == 1
+        assert scheduler.fallback_phase_names == ["one-shot"]
+        assert result.metrics.fallback_phase_names == ["one-shot"]
+
+    def test_edge_mode_still_falls_back(self):
+        # The edge-mode defective coloring has no CSR kernel yet (see
+        # ROADMAP); it must keep running -- and being counted -- on the
+        # batched path.
+        line = line_graph_network(graphs.random_regular(16, 6, seed=4))
+        reference = run_defective_color(line, b=2, p=3, c=2, mode="edge", engine="reference")
+        colors, _, metrics = run_defective_color(
+            line, b=2, p=3, c=2, mode="edge", engine="vectorized"
+        )
+        assert colors == reference[0]
+        assert any("kuhn" in name for name in metrics.fallback_phase_names)
+
+
 class TestEngineSelection:
     def test_make_scheduler_types(self, triangle):
         for engine, engine_cls in ENGINE_CLASSES.items():

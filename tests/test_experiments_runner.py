@@ -6,6 +6,8 @@ import json
 
 import pytest
 
+import io
+
 from repro.exceptions import InvalidParameterError
 from repro.experiments import (
     CACHE_VERSION,
@@ -13,6 +15,7 @@ from repro.experiments import (
     GraphSpec,
     ResultCache,
     Scenario,
+    progress_ticker,
 )
 
 
@@ -107,6 +110,66 @@ class TestParallelSweep:
         (second,) = runner.run([scenario])
         assert not first.cached and not second.cached
         assert first.coloring_digest == second.coloring_digest
+
+
+class TestSweepProgress:
+    """The optional per-scenario progress callback (off by default)."""
+
+    @staticmethod
+    def _scenarios(count=6):
+        return [
+            legal_scenario(degree=3, n=12, seed=seed) for seed in range(count)
+        ]
+
+    @pytest.mark.parametrize("max_workers", [0, 3])
+    def test_callback_fires_once_per_scenario(self, tmp_path, max_workers):
+        scenarios = self._scenarios()
+        events = []
+        runner = ExperimentRunner(cache_dir=tmp_path, max_workers=max_workers)
+        runner.run(scenarios, on_progress=lambda *event: events.append(event))
+
+        assert [done for done, _, _, _ in events] == list(range(1, len(scenarios) + 1))
+        assert all(total == len(scenarios) for _, total, _, _ in events)
+        assert {s.name for _, _, s, _ in events} == {s.name for s in scenarios}
+        assert all(not cached for _, _, _, cached in events)
+
+        # Second pass: everything is a cache hit and is reported as such.
+        events.clear()
+        runner.run(scenarios, on_progress=lambda *event: events.append(event))
+        assert len(events) == len(scenarios)
+        assert all(cached for _, _, _, cached in events)
+
+    def test_duplicates_are_each_reported(self):
+        scenario = legal_scenario(degree=3, n=12)
+        events = []
+        runner = ExperimentRunner(cache_dir=None, max_workers=0)
+        runner.run([scenario, scenario], on_progress=lambda *e: events.append(e))
+        assert [done for done, _, _, _ in events] == [1, 2]
+
+    def test_off_by_default(self, tmp_path):
+        # No callback anywhere: the sweep must run exactly as before.
+        runner = ExperimentRunner(cache_dir=tmp_path, max_workers=0)
+        assert runner.on_progress is None
+        (result,) = runner.run([legal_scenario(degree=3, n=12)])
+        assert result.rounds > 0
+
+    def test_constructor_default_callback_is_used(self):
+        events = []
+        runner = ExperimentRunner(
+            cache_dir=None,
+            max_workers=0,
+            on_progress=lambda *event: events.append(event),
+        )
+        runner.run([legal_scenario(degree=3, n=12)])
+        assert [done for done, _, _, _ in events] == [1]
+
+    def test_stderr_ticker_format(self):
+        stream = io.StringIO()
+        tick = progress_ticker(stream)
+        runner = ExperimentRunner(cache_dir=None, max_workers=0, on_progress=tick)
+        scenario = legal_scenario(degree=3, n=12)
+        runner.run([scenario])
+        assert stream.getvalue() == f"[1/1] {scenario.name}\n"
 
 
 class TestScenarioAndCache:
