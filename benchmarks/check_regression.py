@@ -45,14 +45,23 @@ SPEEDUP_KEYS = (
     "speedup_vectorized_over_reference",
 )
 
+#: Row sections of the results record the gate compares.  "sizes" is the
+#: Legal-Color column; "edge_sizes" is the end-to-end edge-coloring column
+#: (CSR line-graph builder + Corollary 5.4 kernel), optional so records from
+#: before the edge pipeline stay comparable.
+SECTIONS = ("sizes", "edge_sizes")
+
 
 def load_sizes(path: Path) -> dict:
-    """Map ``(n, degree) -> size row`` from a results record."""
+    """Map ``(section, n, degree) -> size row`` from a results record."""
     record = json.loads(path.read_text())
-    sizes = record.get("sizes")
-    if not isinstance(sizes, list) or not sizes:
+    if not isinstance(record.get("sizes"), list) or not record["sizes"]:
         raise SystemExit(f"{path}: no 'sizes' rows -- not an engine-speedup record")
-    return {(row["n"], row["degree"]): row for row in sizes}
+    return {
+        (section, row["n"], row["degree"]): row
+        for section in SECTIONS
+        for row in record.get(section) or []
+    }
 
 
 def compare(baseline_path: Path, fresh_path: Path, tolerance: float) -> int:
@@ -69,12 +78,14 @@ def compare(baseline_path: Path, fresh_path: Path, tolerance: float) -> int:
     failures = 0
     checks = 0
     for size in common:
+        section, n, _degree = size
+        label = f"{section}:n={n}"
         base_row, fresh_row = baseline[size], fresh[size]
         for key in SPEEDUP_KEYS:
             if key not in base_row:
                 continue
             if key not in fresh_row:
-                print(f"ERROR: n={size[0]}: fresh record lacks {key}")
+                print(f"ERROR: {label}: fresh record lacks {key}")
                 failures += 1
                 continue
             base_value = float(base_row[key])
@@ -83,13 +94,13 @@ def compare(baseline_path: Path, fresh_path: Path, tolerance: float) -> int:
             verdict = "ok" if fresh_value >= floor else "REGRESSION"
             checks += 1
             print(
-                f"n={size[0]:>7} {key:<34} baseline={base_value:8.2f}x "
+                f"{label:>20} {key:<34} baseline={base_value:8.2f}x "
                 f"fresh={fresh_value:8.2f}x floor={floor:8.2f}x  {verdict}"
             )
             if fresh_value < floor:
                 failures += 1
         if not fresh_row.get("identical_outputs", False):
-            print(f"ERROR: n={size[0]}: engines no longer produce identical outputs")
+            print(f"ERROR: {label}: engines no longer produce identical outputs")
             failures += 1
 
     if checks == 0:

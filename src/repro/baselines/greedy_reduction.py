@@ -13,7 +13,8 @@ from typing import Optional
 
 from repro.local_model.network import Network
 from repro.graphs.line_graph import build_line_graph_network
-from repro.core.edge_coloring import EdgeColoringResult, _simulation_metrics
+from repro.core.edge_coloring import EdgeColoringResult
+from repro.local_model.line_graph_sim import apply_lemma_5_2_accounting
 from repro.local_model.engine import make_scheduler
 from repro.primitives.color_reduction import delta_plus_one_pipeline
 
@@ -31,7 +32,7 @@ def greedy_reduction_edge_coloring(
         use_kuhn_wattenhofer=False,
     )
     result = make_scheduler(line_network, engine=engine).run(pipeline)
-    metrics = _simulation_metrics(network, result.metrics)
+    metrics = apply_lemma_5_2_accounting(network, result.metrics)
     return EdgeColoringResult(
         edge_colors=result.extract("_greedy_color"),
         palette=palette,

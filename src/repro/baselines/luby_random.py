@@ -22,7 +22,8 @@ from repro.local_model.algorithm import BroadcastPhase, LocalView
 from repro.local_model.engine import make_scheduler
 from repro.local_model.network import Network
 from repro.graphs.line_graph import build_line_graph_network
-from repro.core.edge_coloring import EdgeColoringResult, _simulation_metrics
+from repro.core.edge_coloring import EdgeColoringResult
+from repro.local_model.line_graph_sim import apply_lemma_5_2_accounting
 from repro.local_model.metrics import RunMetrics
 
 
@@ -110,7 +111,7 @@ def luby_edge_coloring(
         palette = max(1, line_network.max_degree + 1)
     phase = LubyRandomColoringPhase(palette=palette, seed=seed)
     result = make_scheduler(line_network, engine=engine).run(phase)
-    metrics = _simulation_metrics(network, result.metrics)
+    metrics = apply_lemma_5_2_accounting(network, result.metrics)
     return EdgeColoringResult(
         edge_colors=result.extract(phase.output_key),
         palette=palette,

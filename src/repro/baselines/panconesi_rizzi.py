@@ -22,7 +22,8 @@ from typing import Optional
 
 from repro.local_model.network import Network
 from repro.graphs.line_graph import build_line_graph_network
-from repro.core.edge_coloring import EdgeColoringResult, _simulation_metrics
+from repro.core.edge_coloring import EdgeColoringResult
+from repro.local_model.line_graph_sim import apply_lemma_5_2_accounting
 from repro.local_model.engine import make_scheduler
 from repro.primitives.color_reduction import delta_plus_one_pipeline
 
@@ -45,7 +46,7 @@ def panconesi_rizzi_edge_coloring(
         use_kuhn_wattenhofer=True,
     )
     result = make_scheduler(line_network, engine=engine).run(pipeline)
-    metrics = _simulation_metrics(network, result.metrics)
+    metrics = apply_lemma_5_2_accounting(network, result.metrics)
     return EdgeColoringResult(
         edge_colors=result.extract("_pr_color"),
         palette=palette,

@@ -16,6 +16,12 @@ colorings of ``G``.  The paper gives two routes, both implemented here:
   each edge.  No simulation overhead is incurred and -- in the regime of
   Theorem 5.5(2), where ``p = O(1)`` -- the messages stay of size
   ``O(log n)``.
+
+Both routes derive ``L(G)`` with the CSR line-graph builder
+(:func:`~repro.local_model.line_csr.build_line_graph_fast`): the line graph
+is compiled straight from ``G``'s CSR arrays -- no Python dict-of-set
+construction -- and on the vectorized engine the whole pipeline (including
+the Corollary 5.4 kernel) executes with zero batched fallbacks.
 """
 
 from __future__ import annotations
@@ -24,9 +30,13 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.line_csr import build_line_graph_fast
+from repro.local_model.line_graph_sim import (
+    SIMULATION_SETUP_ROUNDS,
+    apply_lemma_5_2_accounting,
+)
 from repro.local_model.metrics import PhaseMetrics, RunMetrics
 from repro.local_model.network import Network
-from repro.graphs.line_graph import build_line_graph_network
 from repro.core.legal_coloring import LegalColoringResult, LevelTrace, run_legal_coloring
 from repro.core.parameters import (
     LegalColorParameters,
@@ -38,8 +48,12 @@ from repro.core.parameters import (
 #: The neighborhood independence of a line graph of an ordinary graph.
 LINE_GRAPH_INDEPENDENCE = 2
 
-#: Additive setup cost of the Lemma 5.2 simulation (unique edge identifiers).
-SIMULATION_SETUP_ROUNDS = 1
+__all__ = [
+    "LINE_GRAPH_INDEPENDENCE",
+    "SIMULATION_SETUP_ROUNDS",
+    "EdgeColoringResult",
+    "color_edges",
+]
 
 
 @dataclass
@@ -74,15 +88,18 @@ class EdgeColoringResult:
     levels: List[LevelTrace] = field(default_factory=list)
     parameters: Optional[LegalColorParameters] = None
     line_graph_max_degree: int = 0
-    _by_endpoints: Dict[FrozenSet[Hashable], int] = field(default_factory=dict, repr=False)
-
-    def __post_init__(self) -> None:
-        self._by_endpoints = {
-            frozenset(edge): color for edge, color in self.edge_colors.items()
-        }
+    #: Endpoint-order-insensitive lookup index, built lazily on the first
+    #: :meth:`color_of` call -- most callers only consume ``edge_colors``.
+    _by_endpoints: Optional[Dict[FrozenSet[Hashable], int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def color_of(self, u: Hashable, v: Hashable) -> int:
         """The color of the edge ``{u, v}`` (either endpoint order)."""
+        if self._by_endpoints is None:
+            self._by_endpoints = {
+                frozenset(edge): color for edge, color in self.edge_colors.items()
+            }
         return self._by_endpoints[frozenset((u, v))]
 
     @property
@@ -136,8 +153,8 @@ def color_edges(
     use_auxiliary_coloring:
         Apply the Section 4.2 auxiliary-coloring improvement.
     engine:
-        Execution engine (``"reference"`` / ``"batched"`` / ``None`` for the
-        process default; see :mod:`repro.local_model.engine`).
+        Execution engine (``"reference"`` / ``"batched"`` / ``"vectorized"`` /
+        ``None`` for the process default; see :mod:`repro.local_model.engine`).
 
     Returns
     -------
@@ -147,12 +164,12 @@ def color_edges(
     if route not in ("direct", "simulation"):
         raise InvalidParameterError(f"unknown route {route!r}")
 
-    line_network, _ = build_line_graph_network(network)
-    delta_line = max(1, line_network.max_degree)
+    line_fast = build_line_graph_fast(network)
+    delta_line = max(1, line_fast.max_degree)
     params = parameters or _select_parameters(delta_line, quality, epsilon)
 
     vertex_result: LegalColoringResult = run_legal_coloring(
-        line_network,
+        line_fast,
         params,
         c=LINE_GRAPH_INDEPENDENCE,
         edge_mode=(route == "direct"),
@@ -161,7 +178,7 @@ def color_edges(
     )
 
     if route == "simulation":
-        metrics = _simulation_metrics(network, vertex_result.metrics)
+        metrics = apply_lemma_5_2_accounting(network, vertex_result.metrics)
     else:
         metrics = _direct_metrics(params, vertex_result.metrics)
 
@@ -172,26 +189,8 @@ def color_edges(
         route=route,
         levels=vertex_result.levels,
         parameters=params,
-        line_graph_max_degree=line_network.max_degree,
+        line_graph_max_degree=line_fast.max_degree,
     )
-
-
-def _simulation_metrics(network: Network, raw: RunMetrics) -> RunMetrics:
-    """Lemma 5.2 accounting: rounds double, messages grow by a ``Delta`` factor."""
-    load_factor = max(1, network.max_degree)
-    adjusted = RunMetrics()
-    adjusted.add_phase(PhaseMetrics(name="lemma-5.2-setup", rounds=SIMULATION_SETUP_ROUNDS))
-    for phase in raw.phases:
-        adjusted.add_phase(
-            PhaseMetrics(
-                name=f"sim:{phase.name}",
-                rounds=2 * phase.rounds,
-                messages=phase.messages,
-                total_words=phase.total_words,
-                max_message_words=phase.max_message_words * load_factor,
-            )
-        )
-    return adjusted
 
 
 def _direct_metrics(params: LegalColorParameters, raw: RunMetrics) -> RunMetrics:
@@ -216,4 +215,6 @@ def _direct_metrics(params: LegalColorParameters, raw: RunMetrics) -> RunMetrics
                 max_message_words=max_words,
             )
         )
+    # The adjustment must not hide which phases ran on the batched fallback.
+    adjusted.fallback_phase_names.extend(raw.fallback_phase_names)
     return adjusted

@@ -44,8 +44,9 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.local_model.batched import NetworkLike
-from repro.local_model.engine import make_scheduler
+from repro.local_model.engine import make_scheduler, resolve_engine
 from repro.local_model.fast_network import fast_view
+from repro.local_model.line_csr import line_meta_for
 from repro.local_model.metrics import RunMetrics
 from repro.local_model.state_table import StateTable
 from repro.core.defective_coloring import defective_color_pipeline
@@ -195,6 +196,12 @@ def run_legal_coloring(
             color_column=np.zeros(0, dtype=np.int64),
         )
     fast = fast_view(network)
+    if edge_mode and resolve_engine(engine) == "vectorized":
+        # Derive (and cache) the dense line-graph incidence encoding up
+        # front: every per-level CSR-masked sub-view inherits it, so the
+        # Corollary 5.4 kernel never falls back to per-node Python.  Views
+        # built by build_line_graph_fast already carry it (free).
+        line_meta_for(fast)
     delta = fast.max_degree
     if degree_bound is None:
         degree_bound = max(1, delta)

@@ -21,7 +21,11 @@ from repro.graphs.generators import (
     star_graph,
 )
 from repro.graphs.hypergraphs import Hypergraph, hypergraph_line_graph, random_r_hypergraph
-from repro.graphs.line_graph import build_line_graph_network, line_graph_network
+from repro.graphs.line_graph import (
+    build_line_graph_fast,
+    build_line_graph_network,
+    line_graph_network,
+)
 from repro.graphs.orientation import (
     acyclic_orientation_from_coloring,
     is_acyclic_orientation,
@@ -39,6 +43,7 @@ from repro.graphs.properties import (
 __all__ = [
     "Hypergraph",
     "acyclic_orientation_from_coloring",
+    "build_line_graph_fast",
     "build_line_graph_network",
     "clique_with_pendants",
     "complete_graph",

@@ -17,6 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Tuple
 
+from repro.local_model.line_csr import (  # noqa: F401  (re-exported API)
+    LineGraphMeta,
+    build_line_graph_fast,
+    line_meta_for,
+)
 from repro.local_model.network import Network
 
 #: The identifier type of a line-graph vertex: the canonical edge of ``G``.
@@ -33,11 +38,15 @@ def canonical_edge(network: Network, u: Hashable, v: Hashable) -> EdgeId:
 def build_line_graph_network(network: Network) -> Tuple[Network, Dict[EdgeId, int]]:
     """Construct ``L(G)`` as a :class:`~repro.local_model.network.Network`.
 
-    The returned network's node identifiers are the canonical edges of ``G``
-    (ordered by endpoint unique id).  Unique identifiers of the line-graph
-    vertices are assigned by sorting the pairs ``(Id(u), Id(v))``
-    lexicographically, which matches the pair-identifier scheme of Lemma 5.2
-    up to renumbering into ``{1, ..., |E|}``.
+    This is the transparent pure-Python constructor, kept as the audit
+    reference: the CSR builder
+    (:func:`~repro.local_model.line_csr.build_line_graph_fast`, the one the
+    edge-coloring pipeline runs on) is property-tested to materialize exactly
+    this network.  The returned network's node identifiers are the canonical
+    edges of ``G`` (ordered by endpoint unique id).  Unique identifiers of
+    the line-graph vertices are assigned by sorting the pairs
+    ``(Id(u), Id(v))`` lexicographically, which matches the pair-identifier
+    scheme of Lemma 5.2 up to renumbering into ``{1, ..., |E|}``.
 
     Returns
     -------

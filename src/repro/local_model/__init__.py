@@ -42,6 +42,7 @@ from repro.local_model.engine import (
     use_engine,
 )
 from repro.local_model.fast_network import FastNetwork, fast_view
+from repro.local_model.line_csr import LineGraphMeta, build_line_graph_fast, line_meta_for
 from repro.local_model.messages import Message, payload_size_words
 from repro.local_model.metrics import RunMetrics
 from repro.local_model.network import Network, node_sort_key
@@ -49,13 +50,18 @@ from repro.local_model.node import Node
 from repro.local_model.scheduler import PhaseResult, Scheduler
 from repro.local_model.state_table import StateTable
 from repro.local_model.vectorized import VectorContext, VectorizedScheduler
-from repro.local_model.line_graph_sim import LineGraphSimulationResult, simulate_on_line_graph
+from repro.local_model.line_graph_sim import (
+    LineGraphSimulationResult,
+    apply_lemma_5_2_accounting,
+    simulate_on_line_graph,
+)
 
 __all__ = [
     "SILENT",
     "BatchedScheduler",
     "BroadcastPhase",
     "FastNetwork",
+    "LineGraphMeta",
     "LineGraphSimulationResult",
     "LocalView",
     "Message",
@@ -70,9 +76,12 @@ __all__ = [
     "SynchronousPhase",
     "VectorContext",
     "VectorizedScheduler",
+    "apply_lemma_5_2_accounting",
     "available_engines",
+    "build_line_graph_fast",
     "default_engine",
     "fast_view",
+    "line_meta_for",
     "make_scheduler",
     "node_sort_key",
     "payload_size_words",

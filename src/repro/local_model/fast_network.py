@@ -83,8 +83,9 @@ class FastNetwork:
 
     __slots__ = (
         "network",
-        "order",
-        "index_of",
+        "_order",
+        "_index_of",
+        "_order_provider",
         "unique_ids",
         "indptr",
         "indices",
@@ -93,20 +94,25 @@ class FastNetwork:
         "degrees",
         "num_nodes",
         "max_degree",
+        "line_meta",
         "_np_cache",
     )
 
     def __init__(self, network: Optional[Network]) -> None:
         self._np_cache: Dict[str, np.ndarray] = {}
+        #: Dense incidence encoding for line-graph views (see
+        #: :mod:`repro.local_model.line_csr`); ``None`` on ordinary networks.
+        self.line_meta = None
+        self._order_provider = None
         if network is None:
-            return  # Fields are filled in by _from_csr.
+            return  # Fields are filled in by _masked / build_line_graph_fast.
         self.network = network
         order: Tuple[Hashable, ...] = network.nodes()
-        self.order = order
+        self._order = order
         self.num_nodes = len(order)
         self.max_degree = network.max_degree
         index_of: Dict[Hashable, int] = {node: i for i, node in enumerate(order)}
-        self.index_of = index_of
+        self._index_of = index_of
         self.unique_ids = array("q", (network.unique_id(node) for node in order))
 
         indptr = array("q", [0])
@@ -137,6 +143,28 @@ class FastNetwork:
     def num_edges(self) -> int:
         """Number of undirected edges (half the number of CSR entries)."""
         return len(self.indices) // 2
+
+    @property
+    def order(self) -> Tuple[Hashable, ...]:
+        """Node identifiers in deterministic order (dense index = position).
+
+        Line-graph views built by
+        :func:`repro.local_model.line_csr.build_line_graph_fast` defer the
+        edge-tuple identifiers behind a provider: the fully vectorized
+        execution path addresses nodes by dense index only, so the ``|E|``
+        Python tuples are interned exactly once, at the API boundary (result
+        extraction, reference-engine audits), or never.
+        """
+        if self._order is None:
+            self._order = tuple(self._order_provider())
+        return self._order
+
+    @property
+    def index_of(self) -> Dict[Hashable, int]:
+        """Mapping from node identifier to dense index (built lazily)."""
+        if self._index_of is None:
+            self._index_of = {node: i for i, node in enumerate(self.order)}
+        return self._index_of
 
     def nodes(self) -> Tuple[Hashable, ...]:
         """All node identifiers in deterministic order (same as ``order``)."""
@@ -299,8 +327,10 @@ class FastNetwork:
         """Build the derived view for a per-CSR-entry boolean mask."""
         derived = FastNetwork(None)
         derived.network = None
-        derived.order = self.order
-        derived.index_of = self.index_of
+        derived._order = self._order
+        derived._index_of = self._index_of
+        derived._order_provider = self._order_provider
+        derived.line_meta = self.line_meta
         derived.unique_ids = self.unique_ids
         derived.num_nodes = self.num_nodes
 

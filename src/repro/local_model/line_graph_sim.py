@@ -16,11 +16,15 @@ algorithm for ``L(G)``:
   need to forward up to ``Delta`` messages over one edge in one round --
   which is why this route needs messages of size ``O(Delta log n)``.
 
-This module executes the ``L(G)``-algorithm on an explicitly built line-graph
-network (which yields exactly the outputs the simulation would produce) and
-then applies the Lemma 5.2 accounting to the metrics: rounds become
-``2 T + O(1)`` and the per-edge bandwidth is multiplied by the simulation
-load factor.
+This module executes the ``L(G)``-algorithm on an explicitly derived
+line-graph view (built directly from ``G``'s CSR arrays by
+:func:`~repro.local_model.line_csr.build_line_graph_fast`, which yields
+exactly the outputs the simulation would produce) and then applies the
+Lemma 5.2 accounting to the metrics: rounds become ``2 T + O(1)`` and the
+per-edge bandwidth is multiplied by the simulation load factor.  The
+accounting itself -- :func:`apply_lemma_5_2_accounting` -- is shared with
+:func:`repro.core.edge_coloring.color_edges`'s simulation route, which
+charges the identical adjustment.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple, Union
 
 from repro.local_model.algorithm import PhasePipeline, SynchronousPhase
+from repro.local_model.fast_network import FastNetwork
 from repro.local_model.metrics import PhaseMetrics, RunMetrics
 from repro.local_model.network import Network
 from repro.local_model.scheduler import PhaseResult
@@ -52,14 +57,21 @@ class LineGraphSimulationResult:
     line_graph_metrics:
         The raw metrics of the algorithm as executed on ``L(G)`` itself,
         before adjustment (useful for comparing the two accountings).
-    line_network:
-        The explicit line-graph network the algorithm ran on.
+    line_fast:
+        The CSR line-graph view the algorithm ran on; :attr:`line_network`
+        materializes (and caches) the equivalent legacy
+        :class:`~repro.local_model.network.Network` on first use.
     """
 
     edge_states: Dict[Tuple[Hashable, Hashable], Dict[str, Any]]
     metrics: RunMetrics
     line_graph_metrics: RunMetrics
-    line_network: Network
+    line_fast: FastNetwork
+
+    @property
+    def line_network(self) -> Network:
+        """The explicit line-graph :class:`Network` (materialized lazily)."""
+        return self.line_fast.to_network()
 
 
 def simulate_on_line_graph(
@@ -87,29 +99,31 @@ def simulate_on_line_graph(
     LineGraphSimulationResult
         The per-edge outputs plus both the raw and the adjusted metrics.
     """
-    from repro.graphs.line_graph import build_line_graph_network
     from repro.local_model.engine import make_scheduler
+    from repro.local_model.line_csr import build_line_graph_fast
 
-    line_network, _ = build_line_graph_network(network)
-    scheduler = make_scheduler(line_network, engine=engine, globals_extra=globals_extra)
+    line_fast = build_line_graph_fast(network)
+    scheduler = make_scheduler(line_fast, engine=engine, globals_extra=globals_extra)
     result: PhaseResult = scheduler.run(algorithm, initial_states=initial_states)
 
-    adjusted = _apply_lemma_5_2_accounting(network, result.metrics)
+    adjusted = apply_lemma_5_2_accounting(network, result.metrics)
     return LineGraphSimulationResult(
         edge_states=dict(result.states),
         metrics=adjusted,
         line_graph_metrics=result.metrics,
-        line_network=line_network,
+        line_fast=line_fast,
     )
 
 
-def _apply_lemma_5_2_accounting(network: Network, raw: RunMetrics) -> RunMetrics:
+def apply_lemma_5_2_accounting(network, raw: RunMetrics) -> RunMetrics:
     """Convert metrics measured on ``L(G)`` into their cost on ``G``.
 
-    Every ``L(G)`` round costs at most two ``G`` rounds.  A vertex ``v`` of
+    Every ``L(G)`` round costs at most two ``G`` rounds (plus the
+    :data:`SIMULATION_SETUP_ROUNDS` identifier setup).  A vertex ``v`` of
     ``G`` simulates up to ``deg(v)`` line-graph vertices, so the words it must
     push over a single edge of ``G`` in one round grow by a factor of at most
     ``Delta`` -- this is the ``O(Delta log n)`` message size of Theorem 5.3.
+    ``network`` is ``G`` (a :class:`Network` or ``FastNetwork`` view).
     """
     load_factor = max(1, network.max_degree)
     adjusted = RunMetrics()
@@ -126,4 +140,6 @@ def _apply_lemma_5_2_accounting(network: Network, raw: RunMetrics) -> RunMetrics
                 max_message_words=phase.max_message_words * load_factor,
             )
         )
+    # The adjustment must not hide which phases ran on the batched fallback.
+    adjusted.fallback_phase_names.extend(raw.fallback_phase_names)
     return adjusted

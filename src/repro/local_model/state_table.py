@@ -324,6 +324,28 @@ class StateTable:
             return [interned[i] for i in column.ids.tolist()]
         return list(column.values)
 
+    def get_values_or_none(self, key: str) -> List[Any]:
+        """Per-row ``state.get(key)``: the value where present, else ``None``.
+
+        Unlike :meth:`get_values` this never raises -- a missing column (or a
+        row the presence mask excludes) yields ``None``, exactly like the
+        dict view's ``state.get``.
+        """
+        if key not in self._columns:
+            return [None] * self.num_rows
+        column = self._columns[key]
+        if column.kind == INT_KIND:
+            values: List[Any] = column.values.tolist()
+        elif column.kind == PATH_KIND:
+            interned = column.interned
+            values = [interned[i] for i in column.ids.tolist()]
+        else:
+            values = list(column.values)
+        if column.present is not None:
+            flags = column.present.tolist()
+            values = [value if ok else None for value, ok in zip(values, flags)]
+        return values
+
     def set_values(self, key: str, values: Sequence[Any]) -> None:
         """Replace one column from per-row Python values, re-classifying them."""
         if len(values) != self.num_rows:
@@ -365,6 +387,18 @@ class StateTable:
         if column.kind != PATH_KIND:
             raise TypeError(f"state key {key!r} is not a path column")
         return column.ids
+
+    def path_interned(self, key: str) -> Tuple[Tuple[Any, ...], ...]:
+        """The interned tuple table of a path column (fully present).
+
+        :meth:`path_ids` entries index into this sequence; per-distinct-path
+        computations (e.g. message-size accounting over recursion paths) run
+        over it instead of over every row.
+        """
+        column = self._full_column(key)
+        if column.kind != PATH_KIND:
+            raise TypeError(f"state key {key!r} is not a path column")
+        return tuple(column.interned)
 
     def num_paths(self, key: str) -> int:
         """Number of *distinct* tuples currently held by a path column."""

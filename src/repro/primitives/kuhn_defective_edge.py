@@ -23,9 +23,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 from repro.local_model.algorithm import BroadcastPhase, LocalView
+from repro.local_model.line_csr import NOT_A_LINE_GRAPH, line_meta_for
+from repro.local_model.messages import payload_size_words
 from repro.local_model.network import node_sort_key
+from repro.local_model.vectorized import VectorContext
 from repro.primitives.numbers import ceil_div
 
 
@@ -74,10 +79,7 @@ class KuhnDefectiveEdgeColoringPhase(BroadcastPhase):
     def initialize(self, view: LocalView, state: Dict[str, Any]) -> None:
         node_id = view.node_id
         if not (isinstance(node_id, tuple) and len(node_id) == 2):
-            raise InvalidParameterError(
-                "Kuhn's defective edge coloring must run on a line-graph network "
-                "whose node identifiers are edge 2-tuples"
-            )
+            raise InvalidParameterError(NOT_A_LINE_GRAPH)
 
     def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         own_class = state.get(self.class_key) if self.class_key else None
@@ -127,3 +129,112 @@ class KuhnDefectiveEdgeColoringPhase(BroadcastPhase):
         rank = incident.index(own_edge)
         label = rank // self._chunk + 1
         return min(label, self.p_prime)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized execution (see repro.local_model.vectorized)
+    # ------------------------------------------------------------------ #
+
+    #: Marker the vectorized scheduler checks to run the numpy kernel.
+    supports_vectorized: bool = True
+
+    def vector_run(self, ctx: VectorContext) -> None:
+        """The whole phase as array arithmetic; bit-identical to the callbacks.
+
+        An edge's label at an endpoint is its rank (in ``node_sort_key``
+        order, pre-encoded in the incidence metadata's ``sort_rank`` column)
+        among the incident edges of the same class -- that is, the number of
+        same-class CSR neighbors that share the endpoint and sort strictly
+        before it, which is one masked ``bincount`` over the (possibly
+        CSR-masked) line-graph adjacency per endpoint column.
+        """
+        fast = ctx.fast
+        meta = line_meta_for(fast)
+        n = fast.num_nodes
+        codes, sizes = self._class_column(ctx)
+
+        rows, cols = fast.rows_np, fast.indices_np
+        edge_u, edge_v, sort_rank = meta.edge_u, meta.edge_v, meta.sort_rank
+        before = sort_rank[cols] < sort_rank[rows]
+        if codes is not None:
+            before &= codes[rows] == codes[cols]
+        neighbor_u, neighbor_v = edge_u[cols], edge_v[cols]
+        rank_u = np.bincount(
+            rows[before & ((neighbor_u == edge_u[rows]) | (neighbor_v == edge_u[rows]))],
+            minlength=n,
+        )
+        rank_v = np.bincount(
+            rows[before & ((neighbor_u == edge_v[rows]) | (neighbor_v == edge_v[rows]))],
+            minlength=n,
+        )
+        label_u = np.minimum(rank_u // self._chunk + 1, self.p_prime)
+        label_v = np.minimum(rank_v // self._chunk + 1, self.p_prime)
+
+        # One round: every node broadcasts {"class": value} and halts.
+        if sizes is None:
+            ctx.charge_uniform_broadcast(1, payload_words=2)
+        else:
+            nnz = len(fast.indices)
+            degrees = fast.degrees_np
+            ctx.charge(
+                rounds=1,
+                messages=nnz,
+                total_words=int((degrees * sizes).sum()),
+                max_message_words=int(sizes[degrees > 0].max()) if nnz else 0,
+            )
+        ctx.write_column(self.output_key, (label_u - 1) * self.p_prime + label_v)
+
+    def _class_column(self, ctx: VectorContext):
+        """Per-node ``(codes, sizes)`` of the class values.
+
+        ``codes`` is an ``int64`` column whose equality matches Python ``==``
+        on the class values (``None`` when no class restriction applies --
+        all nodes active together); ``sizes`` is the per-node word size of
+        the ``{"class": value}`` broadcast payload (``None`` for the uniform
+        2-word scalar case).
+        """
+        if self.class_key is None:
+            return None, None
+        table = ctx.table
+        if table is not None and self.class_key not in table:
+            return None, None  # state.get(class_key) is None on every node
+        if table is not None:
+            kind = table.kind(self.class_key)
+            try:
+                if kind == "int":
+                    return table.get_ints(self.class_key), None
+                if kind == "path":
+                    ids = table.path_ids(self.class_key)
+                    interned = table.path_interned(self.class_key)
+                    words = np.fromiter(
+                        (1 + payload_size_words(path) for path in interned),
+                        dtype=np.int64,
+                        count=len(interned),
+                    )
+                    return ids, words[ids]
+            except KeyError:
+                pass  # Partially present column: state.get semantics below.
+            values = table.get_values_or_none(self.class_key)
+        else:
+            values = [state.get(self.class_key) for state in ctx.states]
+
+        codes = np.empty(len(values), dtype=np.int64)
+        try:
+            lookup: Dict[Any, int] = {}
+            for i, value in enumerate(values):
+                codes[i] = lookup.setdefault(value, len(lookup))
+        except TypeError:  # unhashable class values: equality scan
+            seen: List[Any] = []
+            for i, value in enumerate(values):
+                for code, candidate in enumerate(seen):
+                    if candidate == value:
+                        codes[i] = code
+                        break
+                else:
+                    codes[i] = len(seen)
+                    seen.append(value)
+        sizes = np.fromiter(
+            (1 + payload_size_words(value) for value in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        return codes, sizes

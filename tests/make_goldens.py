@@ -118,6 +118,14 @@ FIXTURES: Dict[str, Any] = {
             network, quality="linear", route="simulation", engine=engine
         ),
     ),
+    # Delta(L) = 30 > the superlinear threshold: the direct route actually
+    # executes Corollary 5.4 recursion levels (the CSR edge kernel's path).
+    "edge_direct_superlinear_regular40x16": (
+        lambda: _regular(40, 16, 3),
+        lambda network, engine: _edge(
+            network, quality="superlinear", route="direct", engine=engine
+        ),
+    ),
     "defective_p3_line18x4": (
         lambda: _line_of_regular(18, 4, 2),
         lambda network, engine: _defective(network, b=1, p=3, c=2, engine=engine),

@@ -130,6 +130,27 @@ class TestSchedulerLevelEquivalence:
         )
         self._compare(grid_network, pipeline)
 
+    def test_defective_color_pipeline_edge_mode(self, grid_network):
+        # The Corollary 5.4 route, full final states included: the line-graph
+        # incidence kernel must reproduce the per-node callbacks bit for bit,
+        # with and without a class restriction.
+        line = line_graph_network(grid_network)
+        if line.num_nodes == 0:
+            return
+        pipeline, _ = defective_color_pipeline(
+            n=line.num_nodes,
+            b=1,
+            p=2,
+            Lambda=max(2, grid_network.max_degree),
+            c=2,
+            mode="edge",
+            class_key="cls",
+        )
+        classes = {
+            edge: {"cls": line.unique_id(edge) % 3} for edge in line.nodes()
+        }
+        self._compare(line, pipeline, initial_states=classes)
+
     def test_empty_network(self):
         pipeline, _ = delta_plus_one_pipeline(n=1, degree_bound=1, output_key="c")
         self._compare(Network({}), pipeline)
@@ -174,6 +195,24 @@ class TestEdgeColoringEquivalence:
             assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
                 reference.metrics
             )
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("route", ["direct", "simulation"])
+    def test_identical_edge_colorings_with_recursion_levels(self, route, engine):
+        # Delta(L) = 30 exceeds the superlinear threshold, so the direct
+        # route actually runs Corollary 5.4 levels (the CSR edge kernel).
+        network = graphs.random_regular(40, 16, seed=3)
+        reference = color_edges(
+            network, quality="superlinear", route=route, engine="reference"
+        )
+        candidate = color_edges(
+            network, quality="superlinear", route=route, engine=engine
+        )
+        assert candidate.edge_colors == reference.edge_colors
+        assert candidate.palette == reference.palette
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
 
 
 class TestDefectiveColoringEquivalence:
@@ -321,17 +360,35 @@ class TestVectorizedFallbackAccounting:
         assert scheduler.fallback_phase_names == ["one-shot"]
         assert result.metrics.fallback_phase_names == ["one-shot"]
 
-    def test_edge_mode_still_falls_back(self):
-        # The edge-mode defective coloring has no CSR kernel yet (see
-        # ROADMAP); it must keep running -- and being counted -- on the
-        # batched path.
+    def test_edge_mode_runs_vectorized(self):
+        # The Corollary 5.4 edge phase has a CSR kernel (over the line-graph
+        # incidence encoding): edge-mode Defective-Color must execute with
+        # zero batched fallbacks and still match the reference bit for bit.
         line = line_graph_network(graphs.random_regular(16, 6, seed=4))
         reference = run_defective_color(line, b=2, p=3, c=2, mode="edge", engine="reference")
         colors, _, metrics = run_defective_color(
             line, b=2, p=3, c=2, mode="edge", engine="vectorized"
         )
         assert colors == reference[0]
-        assert any("kuhn" in name for name in metrics.fallback_phase_names)
+        assert metrics.fallback_phase_names == []
+
+    def test_edge_mode_legal_coloring_reports_zero_fallbacks(self):
+        # End-to-end color_edges on the direct (Theorem 5.5) route, sized so
+        # the recursion actually executes Corollary 5.4 levels
+        # (Delta(L) = 30 > the superlinear preset's threshold of 18).
+        network = graphs.random_regular(40, 16, seed=3)
+        result = color_edges(
+            network, quality="superlinear", route="direct", engine="vectorized"
+        )
+        assert len(result.levels) >= 1
+        assert result.metrics.fallback_phase_names == []
+
+    def test_simulation_route_reports_zero_fallbacks(self):
+        network = graphs.random_regular(40, 16, seed=3)
+        result = color_edges(
+            network, quality="superlinear", route="simulation", engine="vectorized"
+        )
+        assert result.metrics.fallback_phase_names == []
 
 
 class TestEngineSelection:

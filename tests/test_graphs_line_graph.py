@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 
 from repro import graphs
-from repro.graphs.line_graph import build_line_graph_network, canonical_edge, line_graph_network
+from repro.graphs.line_graph import (
+    build_line_graph_fast,
+    build_line_graph_network,
+    canonical_edge,
+    line_graph_network,
+)
 from repro.graphs.properties import has_neighborhood_independence_at_most
+from repro.local_model import Network, line_meta_for
 
 
 class TestCanonicalEdge:
@@ -102,3 +109,95 @@ class TestIdentifiers:
             u, v = edge
             assert small_regular.unique_id(u) < small_regular.unique_id(v)
             assert small_regular.has_edge(u, v)
+
+
+#: Networks the CSR builder is pinned against the legacy constructor on,
+#: including custom (non-monotone) unique ids and mixed identifier types.
+BUILDER_CASES = {
+    "regular30x6": lambda: graphs.random_regular(30, 6, seed=1),
+    "erdos-renyi": lambda: graphs.erdos_renyi(24, 0.3, seed=2),
+    "star9": lambda: graphs.star_graph(9),
+    "grid5x4": lambda: graphs.grid_graph(5, 4),
+    "path6": lambda: graphs.path_graph(6),
+    "two-disjoint-edges": lambda: Network.from_edges([(1, 2), (3, 4)]),
+    "edgeless": lambda: Network({1: [], 2: []}),
+    "empty": lambda: Network({}),
+    "custom-uids": lambda: Network(
+        {"a": ["b", "c"], "b": ["c", "d"], "c": [], "d": []},
+        unique_ids={"a": 40, "b": 10, "c": 30, "d": 20},
+    ),
+    "mixed-ids": lambda: Network.from_edges([(1, "x"), ("x", (2, 3)), ((2, 3), 1)]),
+}
+
+
+class TestFastBuilder:
+    """build_line_graph_fast == build_line_graph_network, bit for bit."""
+
+    def test_materializes_the_exact_legacy_network(self):
+        for name, maker in BUILDER_CASES.items():
+            network = maker()
+            legacy, edge_ids = build_line_graph_network(network)
+            fast = build_line_graph_fast(network)
+            assert fast.num_nodes == legacy.num_nodes, name
+            assert fast.max_degree == legacy.max_degree, name
+            materialized = fast.to_network()
+            assert materialized.nodes() == legacy.nodes(), name
+            assert materialized.unique_ids() == legacy.unique_ids(), name
+            for node in legacy.nodes():
+                assert materialized.neighbors(node) == legacy.neighbors(node), name
+            assert {edge: fast.unique_id(edge) for edge in fast.order} == edge_ids, name
+
+    def test_order_is_lazy_until_the_api_boundary(self, small_regular):
+        fast = build_line_graph_fast(small_regular)
+        assert fast._order is None  # no edge tuples were interned yet
+        assert fast.num_nodes == small_regular.num_edges
+        assert fast.order == build_line_graph_network(small_regular)[0].nodes()
+
+    def test_filtered_views_inherit_the_incidence_encoding(self, small_regular):
+        fast = build_line_graph_fast(small_regular)
+        meta = fast.line_meta
+        assert meta is not None
+        derived = fast.filtered_by_labels(np.zeros(fast.num_nodes, dtype=np.int64))
+        assert derived.line_meta is meta
+
+    def test_incidence_encoding_matches_the_edge_tuples(self, small_regular):
+        fast = build_line_graph_fast(small_regular)
+        meta = fast.line_meta
+        g_order = small_regular.nodes()
+        for k, (u, v) in enumerate(fast.order):
+            assert g_order[meta.edge_u[k]] == u
+            assert g_order[meta.edge_v[k]] == v
+        # sort_rank reproduces node_sort_key order over the edge tuples.
+        from repro.local_model import node_sort_key
+
+        by_rank = np.argsort(meta.sort_rank)
+        assert [fast.order[i] for i in by_rank.tolist()] == sorted(
+            fast.order, key=node_sort_key
+        )
+        # The per-vertex CSR lists exactly the incident edges, ascending.
+        for w, node in enumerate(g_order):
+            incident = meta.vert_edges[meta.vert_indptr[w] : meta.vert_indptr[w + 1]]
+            assert list(incident) == sorted(incident.tolist())
+            assert [fast.order[e] for e in incident.tolist()] == [
+                edge for edge in fast.order if node in edge
+            ]
+
+    def test_derived_meta_agrees_with_builder_meta(self, small_regular):
+        built = build_line_graph_fast(small_regular)
+        from repro.local_model.fast_network import fast_view
+
+        legacy_fast = fast_view(line_graph_network(small_regular))
+        derived = line_meta_for(legacy_fast)
+        np.testing.assert_array_equal(
+            np.argsort(derived.sort_rank), np.argsort(built.line_meta.sort_rank)
+        )
+        # Endpoint codes differ (interned vs. dense) but must induce the same
+        # sharing relation.
+        for k in range(built.num_nodes):
+            same_built = (built.line_meta.edge_u == built.line_meta.edge_u[k]) | (
+                built.line_meta.edge_v == built.line_meta.edge_u[k]
+            )
+            same_derived = (derived.edge_u == derived.edge_u[k]) | (
+                derived.edge_v == derived.edge_u[k]
+            )
+            np.testing.assert_array_equal(same_built, same_derived)

@@ -177,3 +177,86 @@ class TestDefectiveEdgeColoring:
             KuhnDefectiveEdgeColoringPhase(p_prime=0, degree_bound=3)
         with pytest.raises(InvalidParameterError):
             KuhnDefectiveEdgeColoringPhase(p_prime=2, degree_bound=0)
+
+
+class TestDefectiveEdgeColoringKernel:
+    """The Corollary 5.4 numpy kernel against the per-node callbacks."""
+
+    def _compare(self, line, phase, initial_states=None):
+        from repro.local_model import BatchedScheduler, VectorizedScheduler
+
+        reference = Scheduler(line).run(phase, initial_states=initial_states)
+        for engine_cls in (BatchedScheduler, VectorizedScheduler):
+            candidate = engine_cls(line).run(phase, initial_states=initial_states)
+            assert candidate.states == reference.states
+            assert candidate.metrics.summary() == reference.metrics.summary()
+        return reference
+
+    @pytest.mark.parametrize("p_prime", [2, 3, 5])
+    def test_bit_identical_without_classes(self, p_prime):
+        network = graphs.random_regular(30, 6, seed=7)
+        line, _ = build_line_graph_network(network)
+        phase = KuhnDefectiveEdgeColoringPhase(
+            p_prime=p_prime, degree_bound=network.max_degree, output_key="edge_color"
+        )
+        self._compare(line, phase)
+
+    def test_bit_identical_with_class_restriction(self):
+        network = graphs.random_regular(20, 4, seed=9)
+        line, _ = build_line_graph_network(network)
+        states = {edge: {"cls": index % 3} for index, edge in enumerate(line.nodes())}
+        phase = KuhnDefectiveEdgeColoringPhase(
+            p_prime=3, degree_bound=4, output_key="edge_color", class_key="cls"
+        )
+        self._compare(line, phase, initial_states=states)
+
+    def test_bit_identical_with_tuple_classes(self):
+        # Tuple-valued classes (the Legal-Color recursion paths) change the
+        # broadcast payload size; metrics must still match exactly.
+        network = graphs.random_regular(18, 4, seed=3)
+        line, _ = build_line_graph_network(network)
+        states = {
+            edge: {"cls": (1, line.unique_id(edge) % 2)} for edge in line.nodes()
+        }
+        phase = KuhnDefectiveEdgeColoringPhase(
+            p_prime=2, degree_bound=4, output_key="edge_color", class_key="cls"
+        )
+        self._compare(line, phase, initial_states=states)
+
+    def test_bit_identical_with_non_monotone_unique_ids(self):
+        # node_sort_key order of the edge tuples disagrees with pair-key
+        # order here; the kernel's sort_rank column must follow the former.
+        from repro.local_model import Network
+
+        base = Network(
+            {10: [20, 30, 40], 20: [30, 40], 30: [40], 40: []},
+            unique_ids={10: 4, 20: 3, 30: 2, 40: 1},
+        )
+        line, _ = build_line_graph_network(base)
+        phase = KuhnDefectiveEdgeColoringPhase(
+            p_prime=2, degree_bound=3, output_key="edge_color"
+        )
+        self._compare(line, phase)
+
+    def test_vectorized_requires_line_graph_node_ids(self, triangle):
+        from repro.local_model import VectorizedScheduler
+
+        phase = KuhnDefectiveEdgeColoringPhase(p_prime=2, degree_bound=2)
+        with pytest.raises(InvalidParameterError):
+            VectorizedScheduler(triangle).run(phase)
+
+    def test_kernel_on_the_csr_builder_view(self):
+        # The fast-builder view carries the incidence encoding natively; the
+        # kernel must agree with the reference run on the materialized twin.
+        from repro.graphs.line_graph import build_line_graph_fast
+        from repro.local_model import VectorizedScheduler
+
+        network = graphs.random_regular(26, 8, seed=1)
+        fast = build_line_graph_fast(network)
+        phase = KuhnDefectiveEdgeColoringPhase(
+            p_prime=4, degree_bound=network.max_degree, output_key="edge_color"
+        )
+        reference = Scheduler(fast.to_network()).run(phase)
+        candidate = VectorizedScheduler(fast).run(phase)
+        assert candidate.states == reference.states
+        assert candidate.metrics.summary() == reference.metrics.summary()

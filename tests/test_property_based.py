@@ -246,6 +246,63 @@ class TestColoringProperties:
 
 
 # --------------------------------------------------------------------------- #
+# CSR line-graph builder == legacy Python constructor
+# --------------------------------------------------------------------------- #
+
+
+class TestFastLineGraphBuilder:
+    """build_line_graph_fast reproduces build_line_graph_network exactly."""
+
+    @SLOW
+    @given(random_edge_lists(), st.booleans())
+    def test_builder_matches_legacy_constructor(self, data, scramble_ids):
+        from repro.graphs.line_graph import build_line_graph_fast, build_line_graph_network
+
+        n, edges = data
+        network = build_network(n, edges)
+        if scramble_ids:
+            # Non-monotone unique ids: identifier order and node_sort_key
+            # order disagree, which exercises the pair-key/sort-rank split.
+            network = Network(
+                {node: network.neighbors(node) for node in network.nodes()},
+                unique_ids={
+                    node: n + 1 - network.unique_id(node) for node in network.nodes()
+                },
+            )
+        legacy, edge_ids = build_line_graph_network(network)
+        fast = build_line_graph_fast(network)
+        assert fast.num_nodes == legacy.num_nodes
+        assert fast.max_degree == legacy.max_degree
+        materialized = fast.to_network()
+        assert materialized.nodes() == legacy.nodes()
+        assert materialized.unique_ids() == legacy.unique_ids()
+        for node in legacy.nodes():
+            assert materialized.neighbors(node) == legacy.neighbors(node)
+        assert {edge: fast.unique_id(edge) for edge in fast.order} == edge_ids
+
+    @SLOW
+    @given(random_edge_lists())
+    def test_edge_mode_defective_color_identical_on_all_engines(self, data):
+        from repro.core.defective_coloring import defective_color_pipeline
+        from repro.graphs.line_graph import build_line_graph_fast
+
+        n, edges = data
+        network = build_network(n, edges)
+        if network.num_edges == 0:
+            return
+        line = build_line_graph_fast(network)
+        Lambda = max(2, network.max_degree)
+        pipeline, _ = defective_color_pipeline(
+            n=line.num_nodes, b=1, p=2, Lambda=Lambda, c=2, mode="edge"
+        )
+        reference = Scheduler(line.to_network()).run(pipeline)
+        for engine_cls in (BatchedScheduler, VectorizedScheduler):
+            candidate = engine_cls(line).run(pipeline)
+            assert candidate.states == reference.states
+            assert candidate.metrics.summary() == reference.metrics.summary()
+
+
+# --------------------------------------------------------------------------- #
 # CSR masking: FastNetwork.filtered == Network.filtered_by_edge
 # --------------------------------------------------------------------------- #
 

@@ -173,6 +173,24 @@ class TestPathColumns:
         assert table.num_paths("_path") == 0
         assert table.to_dicts() == []
 
+    def test_path_interned_indexes_the_ids(self):
+        table = StateTable.from_dicts(
+            [{"_path": (1, 2)}, {"_path": (2, 1)}, {"_path": (1, 2)}]
+        )
+        interned = table.path_interned("_path")
+        ids = table.path_ids("_path")
+        assert [interned[i] for i in ids.tolist()] == [(1, 2), (2, 1), (1, 2)]
+        with pytest.raises(TypeError):
+            StateTable.from_dicts([{"x": 1}]).path_interned("x")
+
+
+class TestGetValuesOrNone:
+    def test_mirrors_state_get(self):
+        dicts = [{"a": 1, "b": (1, 2)}, {"b": (1, 2)}, {"a": 3, "c": [7]}]
+        table = StateTable.from_dicts(dicts)
+        for key in ("a", "b", "c", "missing"):
+            assert table.get_values_or_none(key) == [d.get(key) for d in dicts]
+
 
 class TestRunTable:
     """``run_table`` == ``run`` on the dict view, for every engine."""
