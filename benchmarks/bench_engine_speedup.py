@@ -1,6 +1,6 @@
-"""Three execution engines compared, plus a cached parallel sweep.
+"""Three execution engines compared, plus setup cost and a cached parallel sweep.
 
-Three claims are demonstrated here (committed numbers in
+Four claims are demonstrated here (committed numbers in
 ``benchmarks/results/engine_speedup.md`` / ``engine_speedup.json``):
 
 1. **Speedup.**  On random regular graphs up to ``n = 100,000``, Procedure
@@ -19,7 +19,16 @@ Three claims are demonstrated here (committed numbers in
    runs are asserted to execute with zero batched fallbacks, and the
    vectorized/batched ratio at ``n = 20,000`` is CI-gated like the
    Legal-Color ratios.
-3. **Sweep throughput.**  A 36-scenario sweep (degree x algorithm x seed)
+3. **Setup at array speed.**  Everything *around* the engines -- workload
+   generation, CSR compilation, verification -- also runs on arrays: the
+   ``backend="fast"`` generator seam plus the vectorized verification
+   oracles make "build the graph + get it CSR-ready + verify the coloring"
+   >= 10x faster than the legacy networkx -> ``Network`` -> Python-loop
+   path at ``n = 131,072`` (``Delta = 16``), on both the vertex route and
+   the line-graph route (``L(G)`` with ``|V(L)| >= 10^6``).  Both oracle
+   paths are asserted to agree (accept the real coloring, reject a planted
+   violation), and the ratios are CI-gated like the engine ratios.
+4. **Sweep throughput.**  A 36-scenario sweep (degree x algorithm x seed)
    shards across worker processes via ``ExperimentRunner`` and is served
    entirely from the on-disk cache on the second pass.
 
@@ -48,6 +57,9 @@ from repro import graphs
 from repro.analysis import format_table
 from repro.core import color_edges, color_vertices
 from repro.experiments import GraphSpec, Scenario
+from repro.graphs.line_graph import build_line_graph_fast, build_line_graph_network
+from repro.local_model.fast_network import fast_view
+from repro.verification import is_legal_edge_coloring, is_legal_vertex_coloring
 
 SPEEDUP_DEGREE = 32
 SPEEDUP_SEED = 3
@@ -81,6 +93,12 @@ EDGE_SIZES = (
         (131_072, 16, ("vectorized",)),
     )
 )
+
+#: Setup-cost column: (n, degree).  Chosen to match the largest EDGE_SIZES
+#: instance in full mode so the (expensive) vectorized edge coloring of the
+#: legacy-built graph is computed once and reused for the verification
+#: timings.
+SETUP_SIZES = ((2048, 12),) if QUICK else ((131_072, 16),)
 
 SWEEP_DEGREES = (4, 6) if QUICK else (4, 6, 8, 12, 16, 22)
 SWEEP_SEEDS = (1, 2, 3)
@@ -126,13 +144,17 @@ def _timed_edge_color(network, engine: str):
     )
 
 
-def _run_edge_size(n: int, degree: int, engines) -> dict:
+def _run_edge_size(n: int, degree: int, engines, edge_runs=None) -> dict:
     """Time end-to-end ``color_edges`` per engine; verify identical outputs."""
     network = graphs.random_regular(n, degree, seed=SPEEDUP_SEED)
     results = {}
     seconds = {}
     for engine in engines:
         results[engine], seconds[engine] = _timed_edge_color(network, engine)
+    if edge_runs is not None and "vectorized" in results:
+        # Reused by the setup-cost section so the expensive edge coloring of
+        # this graph is computed exactly once per benchmark run.
+        edge_runs[(n, degree)] = (network, results["vectorized"])
 
     baseline_engine = engines[0]
     baseline = results[baseline_engine]
@@ -174,6 +196,118 @@ def _run_edge_size(n: int, degree: int, engines) -> dict:
             seconds["reference"] / max(seconds["vectorized"], 1e-9), 2
         )
     return row
+
+
+def _run_setup_size(n: int, degree: int, edge_runs) -> dict:
+    """Time (graph build + CSR readiness + verification) on both backends.
+
+    Vertex route: legacy = networkx generation -> ``Network`` -> CSR compile
+    -> mapping-loop legality check; fast = ``backend="fast"`` generation
+    (CSR-native, nothing to compile) -> masked-CSR legality check.  Line
+    route: the same with the ``L(G)`` construction (legacy dict-of-sets
+    builder vs. the CSR builder) and the edge-coloring oracles.  Each
+    pipeline verifies the coloring its own graph received from an untimed
+    vectorized run; both oracle paths are additionally asserted to agree on
+    a shared input, including a planted violation.
+    """
+    from repro.local_model.fast_network import FastNetwork
+
+    fast_net, fast_build = _timed(
+        lambda: graphs.random_regular(n, degree, seed=SPEEDUP_SEED, backend="fast")
+    )
+    legacy_net, legacy_build = _timed(
+        lambda: graphs.random_regular(n, degree, seed=SPEEDUP_SEED, backend="legacy")
+    )
+    _, legacy_compile = _timed(lambda: FastNetwork(legacy_net))
+
+    fast_coloring = color_vertices(
+        fast_net, c=SPEEDUP_C, quality="superlinear", engine="vectorized"
+    )
+    legacy_coloring = color_vertices(
+        legacy_net, c=SPEEDUP_C, quality="superlinear", engine="vectorized"
+    )
+    fast_ok, fast_verify = _timed(
+        lambda: is_legal_vertex_coloring(fast_net, fast_coloring.color_column)
+    )
+    legacy_ok, legacy_verify = _timed(
+        lambda: is_legal_vertex_coloring(legacy_net, legacy_coloring.colors)
+    )
+    assert fast_ok and legacy_ok
+
+    # Both oracle paths must agree on a shared input -- including rejection
+    # of a planted violation -- before their timings are comparable.
+    planted_column = legacy_coloring.color_column.copy()
+    victim = int(fast_view(legacy_net).indices_np[0])
+    planted_column[victim] = planted_column[0]
+    planted_mapping = dict(legacy_coloring.colors)
+    first = legacy_net.nodes()[0]
+    planted_mapping[legacy_net.neighbors(first)[0]] = planted_mapping[first]
+    assert not is_legal_vertex_coloring(legacy_net, planted_column)
+    assert not is_legal_vertex_coloring(legacy_net, planted_mapping)
+    assert is_legal_vertex_coloring(legacy_net, legacy_coloring.color_column)
+
+    # ------------------------------------------------------------------ #
+    # Line-graph route (same base graph for both L(G) constructions).
+    # ------------------------------------------------------------------ #
+    if (n, degree) in edge_runs:
+        edge_net, edge_result = edge_runs[(n, degree)]
+    else:
+        edge_net = legacy_net
+        edge_result = color_edges(
+            edge_net, quality="superlinear", route="direct", engine="vectorized"
+        )
+    line_fast, line_fast_build = _timed(lambda: build_line_graph_fast(edge_net))
+    _, line_legacy_build = _timed(lambda: build_line_graph_network(edge_net))
+    edge_fast_ok, edge_fast_verify = _timed(
+        lambda: is_legal_edge_coloring(edge_net, edge_result.color_column)
+    )
+    edge_legacy_ok, edge_legacy_verify = _timed(
+        lambda: is_legal_edge_coloring(edge_net, edge_result.edge_colors)
+    )
+    assert edge_fast_ok and edge_legacy_ok
+
+    # Planted edge violation: the first two canonical edges share their
+    # lower endpoint on these graphs (degree >= 2), so equal colors clash.
+    edges = edge_net.edges()
+    assert edges[0][0] == edges[1][0]
+    planted_edge_column = edge_result.color_column.copy()
+    planted_edge_column[1] = planted_edge_column[0]
+    planted_edge_mapping = dict(edge_result.edge_colors)
+    planted_edge_mapping[edges[1]] = planted_edge_mapping[edges[0]]
+    assert not is_legal_edge_coloring(edge_net, planted_edge_column)
+    assert not is_legal_edge_coloring(edge_net, planted_edge_mapping)
+
+    seconds = {
+        "legacy_vertex": round(legacy_build + legacy_compile + legacy_verify, 4),
+        "fast_vertex": round(fast_build + fast_verify, 4),
+        "legacy_line": round(legacy_build + line_legacy_build + edge_legacy_verify, 4),
+        "fast_line": round(fast_build + line_fast_build + edge_fast_verify, 4),
+    }
+    return {
+        "n": n,
+        "degree": degree,
+        "edges": edge_net.num_edges,
+        "line_nodes": line_fast.num_nodes,
+        "seconds": seconds,
+        "components": {
+            "legacy_build": round(legacy_build, 4),
+            "legacy_csr_compile": round(legacy_compile, 4),
+            "legacy_vertex_verify": round(legacy_verify, 4),
+            "fast_build": round(fast_build, 4),
+            "fast_vertex_verify": round(fast_verify, 4),
+            "legacy_line_build": round(line_legacy_build, 4),
+            "fast_line_build": round(line_fast_build, 4),
+            "legacy_edge_verify": round(edge_legacy_verify, 4),
+            "fast_edge_verify": round(edge_fast_verify, 4),
+        },
+        "speedup_fast_setup_over_legacy": round(
+            seconds["legacy_vertex"] / max(seconds["fast_vertex"], 1e-9), 2
+        ),
+        "speedup_fast_line_setup_over_legacy": round(
+            seconds["legacy_line"] / max(seconds["fast_line"], 1e-9), 2
+        ),
+        "identical_outputs": True,
+    }
 
 
 def _sweep_scenarios():
@@ -308,8 +442,9 @@ def test_engine_speedup(benchmark):
         "CSR line-graph builder + Corollary 5.4 kernel)"
     )
     edge_rows = []
+    edge_runs = {}
     for n, degree, engines in EDGE_SIZES:
-        edge_rows.append(_run_edge_size(n, degree, engines))
+        edge_rows.append(_run_edge_size(n, degree, engines, edge_runs))
 
     print(
         format_table(
@@ -357,6 +492,53 @@ def test_engine_speedup(benchmark):
                 )
 
     # ------------------------------------------------------------------ #
+    # Setup cost: generation + CSR readiness + verification, both backends.
+    # ------------------------------------------------------------------ #
+    print_section(
+        "Setup cost -- graph build + CSR compile + verification "
+        "(legacy networkx/Network path vs. backend='fast' + array oracles)"
+    )
+    setup_rows = [_run_setup_size(n, degree, edge_runs) for n, degree in SETUP_SIZES]
+    print(
+        format_table(
+            [
+                "n",
+                "Delta",
+                "legacy vertex (s)",
+                "fast vertex (s)",
+                "legacy line (s)",
+                "fast line (s)",
+                "vertex speedup",
+                "line speedup",
+            ],
+            [
+                [
+                    row["n"],
+                    row["degree"],
+                    row["seconds"]["legacy_vertex"],
+                    row["seconds"]["fast_vertex"],
+                    row["seconds"]["legacy_line"],
+                    row["seconds"]["fast_line"],
+                    row["speedup_fast_setup_over_legacy"],
+                    row["speedup_fast_line_setup_over_legacy"],
+                ]
+                for row in setup_rows
+            ],
+        )
+    )
+    print(
+        "\nBoth verification paths accept the computed colorings and reject "
+        "a planted violation."
+    )
+
+    # The committed record claims >= 10x on both routes at n = 131,072; keep
+    # the in-test bound looser so a loaded box does not flake.
+    if not QUICK:
+        for row in setup_rows:
+            assert row["speedup_fast_setup_over_legacy"] >= 5.0, row
+            assert row["speedup_fast_line_setup_over_legacy"] >= 5.0, row
+
+    # ------------------------------------------------------------------ #
     # Parallel sweep with caching.
     # ------------------------------------------------------------------ #
     scenarios = _sweep_scenarios()
@@ -398,9 +580,18 @@ def test_engine_speedup(benchmark):
                 "graph": f"random_regular(n, degree, seed={SPEEDUP_SEED})",
                 "quality": "superlinear",
             },
+            "setup_workload": {
+                "summary": (
+                    "graph build + CSR readiness + coloring verification; "
+                    "legacy = networkx -> Network -> compile -> mapping "
+                    "oracles, fast = backend='fast' arrays -> CSR oracles"
+                ),
+                "graph": f"random_regular(n, degree, seed={SPEEDUP_SEED})",
+            },
             "quick": QUICK,
             "sizes": rows,
             "edge_sizes": edge_rows,
+            "setup_sizes": setup_rows,
             "sweep": {
                 "scenarios": len(scenarios),
                 "fresh_seconds": round(first_seconds, 3),

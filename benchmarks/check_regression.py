@@ -43,13 +43,17 @@ SPEEDUP_KEYS = (
     "speedup_batched_over_reference",
     "speedup_vectorized_over_batched",
     "speedup_vectorized_over_reference",
+    "speedup_fast_setup_over_legacy",
+    "speedup_fast_line_setup_over_legacy",
 )
 
 #: Row sections of the results record the gate compares.  "sizes" is the
 #: Legal-Color column; "edge_sizes" is the end-to-end edge-coloring column
-#: (CSR line-graph builder + Corollary 5.4 kernel), optional so records from
-#: before the edge pipeline stay comparable.
-SECTIONS = ("sizes", "edge_sizes")
+#: (CSR line-graph builder + Corollary 5.4 kernel); "setup_sizes" is the
+#: workload-setup column (array-built generators + CSR verification oracles
+#: vs. the legacy networkx -> Network -> Python-loop path).  All but "sizes"
+#: are optional so records from before those pipelines stay comparable.
+SECTIONS = ("sizes", "edge_sizes", "setup_sizes")
 
 
 def load_sizes(path: Path) -> dict:

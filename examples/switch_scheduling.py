@@ -44,7 +44,12 @@ def verify_schedule_is_matchings(slots: dict) -> None:
 def main() -> None:
     ports = 16
     demand_degree = 8
-    network = graphs.random_bipartite_regular(ports, demand_degree, seed=3)
+    # backend="fast" builds the demand graph as CSR arrays (exact degrees,
+    # no legacy Network materialized); the whole pipeline below -- line
+    # graph, coloring, verification -- stays on the arrays.
+    network = graphs.random_bipartite_regular(
+        ports, demand_degree, seed=3, backend="fast"
+    )
     print(
         f"switch demand graph: {ports} input ports x {ports} output ports, "
         f"{network.num_edges} demands, Delta = {network.max_degree}"
@@ -54,7 +59,7 @@ def main() -> None:
     # Distributed schedule: O(Delta) colors in few rounds, computed by the
     # ports themselves with O(log n)-bit messages.
     distributed = color_edges(network, quality="linear", route="direct")
-    assert_legal_edge_coloring(network, distributed.edge_colors)
+    assert_legal_edge_coloring(network, distributed.color_column)  # masked-CSR check
     slots = schedule_from_coloring(distributed.edge_colors)
     verify_schedule_is_matchings(slots)
     print("distributed schedule (paper, Theorem 5.5(1)):")

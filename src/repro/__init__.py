@@ -60,7 +60,7 @@ from repro.local_model import (
     use_engine,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchedScheduler",

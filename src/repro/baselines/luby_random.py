@@ -15,6 +15,7 @@ reproducible and still independent across vertices.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
@@ -43,16 +44,18 @@ class LubyRandomColoringPhase(BroadcastPhase):
     def initialize(self, view: LocalView, state: Dict[str, Any]) -> None:
         state["_luby_final"] = None
         state["_luby_taken"] = set()
+        # The complement of _luby_taken within {1..palette}, kept sorted and
+        # maintained *incrementally* as neighbor finals arrive: rebuilding it
+        # every round per node would make big line-graph runs quadratic in
+        # the palette.  Same contents and order as the rebuilt list, so the
+        # rng.choice draws -- hence the whole run -- are bit-identical.
+        state["_luby_available"] = list(range(1, self.palette + 1))
 
     def broadcast(self, view: LocalView, state: Dict[str, Any], round_index: int) -> Any:
         if state["_luby_final"] is not None:
             # Announce the final color one last time, then halt.
             return {"final": state["_luby_final"]}
-        available = [
-            color
-            for color in range(1, self.palette + 1)
-            if color not in state["_luby_taken"]
-        ]
+        available = state["_luby_available"]
         rng = random.Random(f"{self.seed}:{view.unique_id}:{round_index}")
         state["_luby_candidate"] = rng.choice(available) if available else None
         return {"candidate": state["_luby_candidate"]}
@@ -69,14 +72,20 @@ class LubyRandomColoringPhase(BroadcastPhase):
             return True
 
         candidate = state.get("_luby_candidate")
+        taken = state["_luby_taken"]
+        available = state["_luby_available"]
         for payload in inbox.values():
-            if "final" in payload:
-                state["_luby_taken"].add(payload["final"])
+            final = payload.get("final")
+            if final is not None and final not in taken:
+                taken.add(final)
+                at = bisect_left(available, final)
+                if at < len(available) and available[at] == final:
+                    available.pop(at)
 
         conflict = candidate is None or any(
             payload.get("candidate") == candidate for payload in inbox.values()
         )
-        if not conflict and candidate not in state["_luby_taken"]:
+        if not conflict and candidate not in taken:
             state["_luby_final"] = candidate
         return False
 

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Tuple
 
+from repro.local_model.fast_network import as_network
 from repro.local_model.network import Network
 
 
 def greedy_sequential_vertex_coloring(network: Network) -> Dict[Hashable, int]:
     """Greedy vertex coloring in identifier order (at most ``Delta + 1`` colors)."""
+    network = as_network(network)
     colors: Dict[Hashable, int] = {}
     for node in sorted(network.nodes(), key=network.unique_id):
         taken = {
@@ -39,6 +41,7 @@ def greedy_sequential_edge_coloring(
     :meth:`~repro.local_model.network.Network.edges`; each edge takes the
     smallest color unused by the already-colored edges sharing an endpoint.
     """
+    network = as_network(network)
     edge_colors: Dict[Tuple[Hashable, Hashable], int] = {}
     incident: Dict[Hashable, set] = {node: set() for node in network.nodes()}
     for edge in network.edges():

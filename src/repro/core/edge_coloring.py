@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 from repro.local_model.line_csr import build_line_graph_fast
 from repro.local_model.line_graph_sim import (
@@ -88,6 +90,14 @@ class EdgeColoringResult:
     levels: List[LevelTrace] = field(default_factory=list)
     parameters: Optional[LegalColorParameters] = None
     line_graph_max_degree: int = 0
+    #: The same coloring as ``edge_colors``, as an ``int64`` array over the
+    #: canonical edges of ``G`` in unique-id pair order (= the dense node
+    #: order of ``L(G)``) -- the array-form input of the vectorized
+    #: verification oracles.  ``None`` on the baselines that run through the
+    #: legacy line-graph constructor.
+    color_column: Optional["np.ndarray"] = field(
+        default=None, repr=False, compare=False
+    )
     #: Endpoint-order-insensitive lookup index, built lazily on the first
     #: :meth:`color_of` call -- most callers only consume ``edge_colors``.
     _by_endpoints: Optional[Dict[FrozenSet[Hashable], int]] = field(
@@ -190,6 +200,7 @@ def color_edges(
         levels=vertex_result.levels,
         parameters=params,
         line_graph_max_degree=line_fast.max_degree,
+        color_column=vertex_result.color_column,
     )
 
 

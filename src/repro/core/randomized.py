@@ -62,6 +62,9 @@ class RandomizedColoringResult:
     per_class_palette: int
     used_random_split: bool
     class_assignment: Dict[Hashable, int] = field(default_factory=dict)
+    #: The coloring as an int64 array in the dense node order of the
+    #: network's FastNetwork view (the array-form verification input).
+    color_column: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
 
 def randomized_color_vertices(
@@ -146,6 +149,7 @@ def randomized_color_vertices(
         per_class_palette=per_class_palette,
         used_random_split=use_split,
         class_assignment=assignment,
+        color_column=color_column,
     )
 
 

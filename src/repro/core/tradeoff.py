@@ -11,7 +11,7 @@ whose running time depends only on the (much smaller) subgraph degree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional
 
 import numpy as np
@@ -53,6 +53,9 @@ class TradeoffColoringResult:
     split_palette: int
     split_defect_bound: int
     per_class_palette: int
+    #: The coloring as an int64 array in the dense node order of the
+    #: network's FastNetwork view (the array-form verification input).
+    color_column: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
 
 def tradeoff_color_vertices(
@@ -133,4 +136,5 @@ def tradeoff_color_vertices(
         split_palette=split_palette,
         split_defect_bound=split_defect_bound,
         per_class_palette=per_class_palette,
+        color_column=color_column,
     )

@@ -18,19 +18,24 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import InvalidParameterError
 from repro.local_model.engine import resolve_engine
+from repro.local_model.fast_network import FastNetwork
 from repro.local_model.network import Network
+
+#: What a graph builder produces: the legacy mapping-based network
+#: (``backend="legacy"``) or the CSR-native view (``backend="fast"``).
+NetworkLike = Union[Network, FastNetwork]
 
 # --------------------------------------------------------------------------- #
 # Graph family registry
 # --------------------------------------------------------------------------- #
 
-#: family name -> builder(spec) -> Network.  Builders read only ``n``,
-#: ``degree``, ``seed`` and ``extra`` from the spec.
-GRAPH_FAMILIES: Dict[str, Callable[["GraphSpec"], Network]] = {}
+#: family name -> builder(spec) -> NetworkLike.  Builders read only ``n``,
+#: ``degree``, ``seed``, ``backend`` and ``extra`` from the spec.
+GRAPH_FAMILIES: Dict[str, Callable[["GraphSpec"], NetworkLike]] = {}
 
 
 def register_graph_family(name: str) -> Callable:
@@ -57,6 +62,16 @@ class GraphSpec:
     line_graph:
         Build the line graph of the base graph (the paper's edge-coloring
         workloads are vertex-coloring workloads on ``L(G)``).
+    backend:
+        ``"legacy"`` (the default: networkx / dict-of-tuples ``Network``
+        construction, byte-stable seed streams) or ``"fast"`` (array-built
+        :class:`~repro.local_model.fast_network.FastNetwork`, never
+        materializing a legacy ``Network``; with ``line_graph`` the ``L(G)``
+        derivation also stays on the CSR arrays).  Deterministic families
+        are bit-identical across backends; the random families follow one
+        documented seed stream per backend (see
+        :mod:`repro.graphs.generators`), so the backend is part of the cache
+        key.
     extra:
         Additional family-specific parameters as a sorted tuple of
         ``(key, value)`` pairs.
@@ -67,9 +82,10 @@ class GraphSpec:
     degree: Optional[int] = None
     seed: Optional[int] = None
     line_graph: bool = False
+    backend: str = "legacy"
     extra: Tuple[Tuple[str, Any], ...] = ()
 
-    def build(self) -> Network:
+    def build(self) -> NetworkLike:
         """Construct the described network."""
         try:
             builder = GRAPH_FAMILIES[self.family]
@@ -79,9 +95,14 @@ class GraphSpec:
             ) from None
         network = builder(self)
         if self.line_graph:
-            from repro.graphs.line_graph import line_graph_network
+            if self.backend == "fast":
+                from repro.graphs.line_graph import build_line_graph_fast
 
-            network = line_graph_network(network)
+                network = build_line_graph_fast(network)
+            else:
+                from repro.graphs.line_graph import line_graph_network
+
+                network = line_graph_network(network)
         return network
 
     def key(self) -> Dict[str, Any]:
@@ -92,69 +113,91 @@ class GraphSpec:
             "degree": self.degree,
             "seed": self.seed,
             "line_graph": self.line_graph,
+            "backend": self.backend,
             "extra": [list(pair) for pair in self.extra],
         }
 
 
 @register_graph_family("random_regular")
-def _build_random_regular(spec: GraphSpec) -> Network:
+def _build_random_regular(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
-    return graphs.random_regular(spec.n, spec.degree, seed=spec.seed or 0)
+    return graphs.random_regular(
+        spec.n, spec.degree, seed=spec.seed or 0, backend=spec.backend
+    )
 
 
 @register_graph_family("cycle")
-def _build_cycle(spec: GraphSpec) -> Network:
+def _build_cycle(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
-    return graphs.cycle_graph(spec.n)
+    return graphs.cycle_graph(spec.n, backend=spec.backend)
 
 
 @register_graph_family("path")
-def _build_path(spec: GraphSpec) -> Network:
+def _build_path(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
-    return graphs.path_graph(spec.n)
+    return graphs.path_graph(spec.n, backend=spec.backend)
 
 
 @register_graph_family("star")
-def _build_star(spec: GraphSpec) -> Network:
+def _build_star(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
-    return graphs.star_graph(spec.n)
+    return graphs.star_graph(spec.n, backend=spec.backend)
 
 
 @register_graph_family("complete")
-def _build_complete(spec: GraphSpec) -> Network:
+def _build_complete(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
-    return graphs.complete_graph(spec.n)
+    return graphs.complete_graph(spec.n, backend=spec.backend)
 
 
 @register_graph_family("grid")
-def _build_grid(spec: GraphSpec) -> Network:
+def _build_grid(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
     extra = dict(spec.extra)
     rows = extra.get("rows", spec.n)
     cols = extra.get("cols", spec.n)
-    return graphs.grid_graph(rows, cols)
+    return graphs.grid_graph(rows, cols, backend=spec.backend)
+
+
+@register_graph_family("hypercube")
+def _build_hypercube(spec: GraphSpec) -> NetworkLike:
+    from repro import graphs
+
+    return graphs.hypercube_graph(spec.n, backend=spec.backend)
 
 
 @register_graph_family("clique_with_pendants")
-def _build_clique_with_pendants(spec: GraphSpec) -> Network:
+def _build_clique_with_pendants(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
-    return graphs.clique_with_pendants(spec.n)
+    return graphs.clique_with_pendants(spec.n, backend=spec.backend)
 
 
 @register_graph_family("erdos_renyi")
-def _build_erdos_renyi(spec: GraphSpec) -> Network:
+def _build_erdos_renyi(spec: GraphSpec) -> NetworkLike:
     from repro import graphs
 
     extra = dict(spec.extra)
     probability = extra.get("edge_probability", 0.1)
-    return graphs.erdos_renyi(spec.n, probability, seed=spec.seed or 0)
+    return graphs.erdos_renyi(
+        spec.n, probability, seed=spec.seed or 0, backend=spec.backend
+    )
+
+
+@register_graph_family("bipartite_regular")
+def _build_bipartite_regular(spec: GraphSpec) -> NetworkLike:
+    """The switch-scheduling workload: ``n`` ports per side, ``degree`` demands."""
+    from repro import graphs
+
+    return graphs.random_bipartite_regular(
+        spec.n, spec.degree, seed=spec.seed or 0, backend=spec.backend
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -313,7 +356,7 @@ def _coloring_payload(colors: Mapping[Any, int], capture_colors: bool) -> Dict[s
 
 @register_algorithm("legal_coloring")
 def _run_legal_coloring(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.core import color_vertices
     from repro.verification import assert_legal_vertex_coloring
@@ -325,7 +368,12 @@ def _run_legal_coloring(
         epsilon=params.get("epsilon", 0.75),
         engine=engine,
     )
-    assert_legal_vertex_coloring(network, result.colors)
+    # Verify through the color column (masked CSR comparisons) when the run
+    # produced one; the mapping form is the audit fallback.
+    if result.color_column is not None:
+        assert_legal_vertex_coloring(network, result.color_column)
+    else:
+        assert_legal_vertex_coloring(network, result.colors)
     payload = _metrics_payload(result.metrics)
     payload.update(_coloring_payload(result.colors, capture_colors))
     payload.update(palette=result.palette, levels=result.num_levels, verified=True)
@@ -334,7 +382,7 @@ def _run_legal_coloring(
 
 @register_algorithm("edge_coloring")
 def _run_edge_coloring(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.core import color_edges
     from repro.verification import assert_legal_edge_coloring
@@ -346,7 +394,10 @@ def _run_edge_coloring(
         route=params.get("route", "direct"),
         engine=engine,
     )
-    assert_legal_edge_coloring(network, result.edge_colors)
+    if result.color_column is not None:
+        assert_legal_edge_coloring(network, result.color_column)
+    else:
+        assert_legal_edge_coloring(network, result.edge_colors)
     payload = _metrics_payload(result.metrics)
     payload.update(_coloring_payload(result.edge_colors, capture_colors))
     payload.update(palette=result.palette, verified=True)
@@ -355,7 +406,7 @@ def _run_edge_coloring(
 
 @register_algorithm("defective_coloring")
 def _run_defective_coloring(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.core import run_defective_color
     from repro.verification.coloring import coloring_defect
@@ -382,7 +433,7 @@ def _run_defective_coloring(
 
 @register_algorithm("tradeoff")
 def _run_tradeoff(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.core import tradeoff_color_vertices
     from repro.verification import assert_legal_vertex_coloring
@@ -401,7 +452,10 @@ def _run_tradeoff(
         eta=params.get("eta", 0.5),
         engine=engine,
     )
-    assert_legal_vertex_coloring(network, result.colors)
+    if result.color_column is not None:
+        assert_legal_vertex_coloring(network, result.color_column)
+    else:
+        assert_legal_vertex_coloring(network, result.colors)
     payload = _metrics_payload(result.metrics)
     payload.update(_coloring_payload(result.colors, capture_colors))
     payload.update(
@@ -414,7 +468,7 @@ def _run_tradeoff(
 
 @register_algorithm("randomized_coloring")
 def _run_randomized(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.core import randomized_color_vertices
     from repro.verification import assert_legal_vertex_coloring
@@ -425,7 +479,10 @@ def _run_randomized(
         seed=params.get("seed", 0),
         engine=engine,
     )
-    assert_legal_vertex_coloring(network, result.colors)
+    if result.color_column is not None:
+        assert_legal_vertex_coloring(network, result.color_column)
+    else:
+        assert_legal_vertex_coloring(network, result.colors)
     payload = _metrics_payload(result.metrics)
     payload.update(_coloring_payload(result.colors, capture_colors))
     payload.update(palette=result.palette, verified=True)
@@ -434,7 +491,7 @@ def _run_randomized(
 
 @register_algorithm("panconesi_rizzi")
 def _run_panconesi_rizzi(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.baselines import panconesi_rizzi_edge_coloring
     from repro.verification import assert_legal_edge_coloring
@@ -449,7 +506,7 @@ def _run_panconesi_rizzi(
 
 @register_algorithm("luby_edge")
 def _run_luby_edge(
-    network: Network, params: Dict[str, Any], engine: str, capture_colors: bool
+    network: NetworkLike, params: Dict[str, Any], engine: str, capture_colors: bool
 ) -> Dict[str, Any]:
     from repro.baselines import luby_edge_coloring
     from repro.verification import assert_legal_edge_coloring

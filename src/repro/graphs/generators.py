@@ -9,20 +9,75 @@ These are the graph families the paper motivates or analyses:
   reduce to,
 * bounded-growth graphs (grids, hypercubes of fixed dimension growth),
 * generic benchmark graphs (random regular, Erdos-Renyi, power-law) used by
-  the Table 1 / Table 2 sweeps to realize a prescribed maximum degree.
+  the Table 1 / Table 2 sweeps to realize a prescribed maximum degree,
+* bipartite regular graphs -- the switch-scheduling / packet-routing
+  instances of the paper's introduction.
 
 All generators are deterministic given their ``seed`` argument, so benchmark
 runs are reproducible.
+
+Backends
+--------
+Every generator takes ``backend="legacy"`` (the default) or
+``backend="fast"``:
+
+* ``"legacy"`` builds a dict-of-tuples
+  :class:`~repro.local_model.network.Network` exactly as previous releases
+  did (networkx construction, Python sorting) -- byte-for-byte stable seed
+  streams;
+* ``"fast"`` builds a CSR
+  :class:`~repro.local_model.fast_network.FastNetwork` directly from numpy
+  index arithmetic via :meth:`FastNetwork.from_edge_array`, never
+  materializing a legacy ``Network`` (``.to_network()`` stays the on-demand
+  audit path).
+
+The **deterministic** families (path, cycle, grid, hypercube, complete, star,
+clique-with-pendants) are *bit-identical* across backends: same node
+identifiers, same unique ids, same CSR arrays (property-tested in
+``tests/test_generator_backends.py``).  The **random** families keep one
+documented seed stream per backend: the legacy stream is
+``random.Random(seed)`` / networkx's generator as before, the fast stream is
+``numpy.random.default_rng(seed)`` driving the vectorized samplers below --
+``family(n, d, seed, backend="fast")`` is therefore a *different* (equally
+distributed) graph than ``backend="legacy"`` with the same seed, but is
+reproducible across runs and platforms.  Both backends guarantee the same
+exact invariants (exact degrees for the regular families, simplicity
+everywhere).
 """
 
 from __future__ import annotations
 
 import random
+from typing import Iterable, List, Set, Tuple, Union
 
 import networkx as nx
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
+from repro.local_model.fast_network import FastNetwork
 from repro.local_model.network import Network
+
+#: Return type of every generator: the legacy mapping-based network or the
+#: CSR-native view, depending on ``backend``.
+GeneratedNetwork = Union[Network, FastNetwork]
+
+_BACKENDS = ("legacy", "fast")
+
+#: Vectorized re-pairing rounds attempted before falling back to the exact
+#: switching repair; at benchmark scales (sparse graphs) a couple of rounds
+#: suffice, so the fallback only engages on small dense instances.
+_MAX_POOL_ROUNDS = 32
+
+#: Random probes tried before scanning for a bipartite repair swap partner.
+_SWAP_PROBES = 64
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in _BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; known backends: {_BACKENDS}"
+        )
+    return backend
 
 
 def _from_networkx_int_labels(graph: "nx.Graph") -> Network:
@@ -31,7 +86,22 @@ def _from_networkx_int_labels(graph: "nx.Graph") -> Network:
     return Network.from_networkx(relabeled)
 
 
-def clique_with_pendants(clique_size: int) -> Network:
+def _fast_from_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    num_nodes: int,
+    order=None,
+) -> FastNetwork:
+    """The shared :meth:`FastNetwork.from_edge_array` entry of the builders."""
+    return FastNetwork.from_edge_array(u, v, num_nodes=num_nodes, order=order)
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic families (fast backend bit-identical to legacy)
+# --------------------------------------------------------------------------- #
+
+
+def clique_with_pendants(clique_size: int, backend: str = "legacy") -> GeneratedNetwork:
     """The Figure 1 graph: a clique whose every vertex has one pendant neighbor.
 
     The graph has ``n = 2 * clique_size`` vertices.  Its neighborhood
@@ -44,9 +114,24 @@ def clique_with_pendants(clique_size: int) -> Network:
     ----------
     clique_size:
         Number of clique vertices (at least 1).
+    backend:
+        ``"legacy"`` or ``"fast"`` (see the module docstring).
     """
     if clique_size < 1:
         raise InvalidParameterError("clique_size must be at least 1")
+    if _check_backend(backend) == "fast":
+        k = clique_size
+        cu, cv = np.triu_indices(k, k=1)
+        pendant_u = np.arange(k, dtype=np.int64)
+        u = np.concatenate([cu.astype(np.int64), pendant_u])
+        v = np.concatenate([cv.astype(np.int64), pendant_u + k])
+
+        def identifiers() -> Iterable:
+            return [("clique", i) for i in range(k)] + [
+                ("pendant", i) for i in range(k)
+            ]
+
+        return _fast_from_edges(u, v, 2 * k, order=identifiers)
     adjacency = {}
     clique = [("clique", i) for i in range(clique_size)]
     for i, node in enumerate(clique):
@@ -57,28 +142,37 @@ def clique_with_pendants(clique_size: int) -> Network:
     return Network(adjacency)
 
 
-def complete_graph(n: int) -> Network:
+def complete_graph(n: int, backend: str = "legacy") -> GeneratedNetwork:
     """The complete graph ``K_n`` (every pair of vertices adjacent)."""
     if n < 1:
         raise InvalidParameterError("n must be at least 1")
+    if _check_backend(backend) == "fast":
+        u, v = np.triu_indices(n, k=1)
+        return _fast_from_edges(u.astype(np.int64), v.astype(np.int64), n)
     return Network({i: [j for j in range(n) if j != i] for i in range(n)})
 
 
-def path_graph(n: int) -> Network:
+def path_graph(n: int, backend: str = "legacy") -> GeneratedNetwork:
     """The path on ``n`` vertices."""
     if n < 1:
         raise InvalidParameterError("n must be at least 1")
+    if _check_backend(backend) == "fast":
+        u = np.arange(n - 1, dtype=np.int64)
+        return _fast_from_edges(u, u + 1, n)
     return Network({i: [j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)})
 
 
-def cycle_graph(n: int) -> Network:
+def cycle_graph(n: int, backend: str = "legacy") -> GeneratedNetwork:
     """The cycle on ``n`` vertices (``n >= 3``)."""
     if n < 3:
         raise InvalidParameterError("a cycle needs at least 3 vertices")
+    if _check_backend(backend) == "fast":
+        u = np.arange(n, dtype=np.int64)
+        return _fast_from_edges(u, (u + 1) % n, n)
     return Network({i: [(i - 1) % n, (i + 1) % n] for i in range(n)})
 
 
-def star_graph(leaves: int) -> Network:
+def star_graph(leaves: int, backend: str = "legacy") -> GeneratedNetwork:
     """The star ``K_{1,leaves}``: one center adjacent to ``leaves`` leaves.
 
     For ``leaves >= 3`` this is the smallest graph that is *not* claw-free and
@@ -86,72 +180,408 @@ def star_graph(leaves: int) -> Network:
     """
     if leaves < 1:
         raise InvalidParameterError("a star needs at least one leaf")
+    if _check_backend(backend) == "fast":
+        u = np.zeros(leaves, dtype=np.int64)
+        v = np.arange(1, leaves + 1, dtype=np.int64)
+
+        def identifiers() -> Iterable:
+            return ["center"] + [("leaf", i) for i in range(leaves)]
+
+        return _fast_from_edges(u, v, leaves + 1, order=identifiers)
     adjacency = {"center": [("leaf", i) for i in range(leaves)]}
     for i in range(leaves):
         adjacency[("leaf", i)] = ["center"]
     return Network(adjacency)
 
 
-def grid_graph(rows: int, cols: int) -> Network:
+def grid_graph(rows: int, cols: int, backend: str = "legacy") -> GeneratedNetwork:
     """The ``rows x cols`` grid -- a canonical bounded-growth graph."""
     if rows < 1 or cols < 1:
         raise InvalidParameterError("grid dimensions must be positive")
+    if _check_backend(backend) == "fast":
+        index = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+        u = np.concatenate([index[:, :-1].ravel(), index[:-1, :].ravel()])
+        v = np.concatenate([index[:, 1:].ravel(), index[1:, :].ravel()])
+        return _fast_from_edges(u, v, rows * cols)
     return _from_networkx_int_labels(nx.grid_2d_graph(rows, cols))
 
 
-def hypercube_graph(dimension: int) -> Network:
+def hypercube_graph(dimension: int, backend: str = "legacy") -> GeneratedNetwork:
     """The ``dimension``-dimensional hypercube (``2^dimension`` vertices)."""
     if dimension < 1:
         raise InvalidParameterError("dimension must be at least 1")
+    if _check_backend(backend) == "fast":
+        n = 1 << dimension
+        nodes = np.arange(n, dtype=np.int64)
+        lower = [nodes[(nodes >> bit) & 1 == 0] for bit in range(dimension)]
+        u = np.concatenate(lower)
+        v = np.concatenate([part | (1 << bit) for bit, part in enumerate(lower)])
+        return _fast_from_edges(u, v, n)
     return _from_networkx_int_labels(nx.hypercube_graph(dimension))
 
 
-def random_regular(n: int, degree: int, seed: int = 0) -> Network:
+# --------------------------------------------------------------------------- #
+# Random families (one documented seed stream per backend)
+# --------------------------------------------------------------------------- #
+
+
+def _simple_pairing_repair(
+    u: np.ndarray, v: np.ndarray, n: int, rng: np.random.Generator
+) -> None:
+    """Re-pair configuration-model stubs in place until the graph is simple.
+
+    Two phases.  First, vectorized re-pairing rounds: flag the *bad* pairs
+    (self-loops, plus every duplicate of an undirected pair beyond its first
+    copy), pool their stubs together with an equal number of randomly chosen
+    good pairs, reshuffle the pool and re-pair it -- at benchmark scales
+    (``degree << n``) this clears everything in a couple of array passes.
+    If bad pairs survive :data:`_MAX_POOL_ROUNDS` (small dense instances,
+    where fresh random pairs keep colliding), fall back to
+    :func:`_switching_repair`, whose edge switches strictly decrease the
+    collision count.  The stub multiset -- hence every node's degree -- is
+    invariant throughout.
+    """
+    for _ in range(_MAX_POOL_ROUNDS):
+        low = np.minimum(u, v)
+        high = np.maximum(u, v)
+        keys = low * n + high
+        by_key = np.argsort(keys, kind="stable")
+        sorted_keys = keys[by_key]
+        duplicate_sorted = np.zeros(len(keys), dtype=bool)
+        duplicate_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+        bad = np.zeros(len(keys), dtype=bool)
+        bad[by_key] = duplicate_sorted
+        bad |= u == v
+        bad_slots = np.flatnonzero(bad)
+        if len(bad_slots) == 0:
+            return
+        good_slots = np.flatnonzero(~bad)
+        mixed_in = min(len(good_slots), len(bad_slots))
+        if mixed_in:
+            chosen = rng.choice(good_slots, size=mixed_in, replace=False)
+            slots = np.concatenate([bad_slots, chosen])
+        else:
+            slots = bad_slots
+        pool = np.concatenate([u[slots], v[slots]])
+        pool = pool[rng.permutation(len(pool))]
+        u[slots] = pool[: len(slots)]
+        v[slots] = pool[len(slots) :]
+    _switching_repair(u, v, n, rng)
+
+
+def _switching_repair(
+    u: np.ndarray, v: np.ndarray, n: int, rng: np.random.Generator
+) -> None:
+    """Make the pairing simple with degree-preserving edge switches.
+
+    For a bad pair ``(a, b)`` (self-loop or duplicate) and a partner pair
+    ``(x, y)``, the switch ``(a, b), (x, y) -> (a, y), (x, b)`` preserves all
+    four degrees; it is applied only when both replacement pairs are fresh
+    non-loops, so the total collision count (self-loops plus excess
+    multiplicities) strictly decreases with every switch.  Partners are
+    random-probed, then scanned; the dense regime is diverted to the
+    complement sampler before this runs (see :func:`random_regular`), so a
+    valid switch always exists.
+    """
+
+    def key(a: int, b: int) -> int:
+        return a * n + b if a < b else b * n + a
+
+    multiplicity: dict = {}
+    for a, b in zip(u.tolist(), v.tolist()):
+        k = key(a, b)
+        multiplicity[k] = multiplicity.get(k, 0) + 1
+    pending = [
+        slot
+        for slot, (a, b) in enumerate(zip(u.tolist(), v.tolist()))
+        if a == b or multiplicity[key(a, b)] > 1
+    ]
+    num_pairs = len(u)
+
+    def try_switch(slot: int, partner: int) -> bool:
+        a, b = int(u[slot]), int(v[slot])
+        x, y = int(u[partner]), int(v[partner])
+        for new_b, new_y in (((a, y), (x, b)), ((a, x), (y, b))):
+            (p1a, p1b), (p2a, p2b) = new_b, new_y
+            if p1a == p1b or p2a == p2b:
+                continue
+            k1, k2 = key(p1a, p1b), key(p2a, p2b)
+            if k1 == k2 or multiplicity.get(k1) or multiplicity.get(k2):
+                continue
+            for old in (key(a, b), key(x, y)):
+                multiplicity[old] -= 1
+                if not multiplicity[old]:
+                    del multiplicity[old]
+            u[slot], v[slot] = p1a, p1b
+            u[partner], v[partner] = p2a, p2b
+            multiplicity[k1] = multiplicity.get(k1, 0) + 1
+            multiplicity[k2] = multiplicity.get(k2, 0) + 1
+            return True
+        return False
+
+    while pending:
+        slot = pending.pop()
+        a, b = int(u[slot]), int(v[slot])
+        if a != b and multiplicity[key(a, b)] <= 1:
+            continue  # resolved by an earlier switch
+        switched = False
+        for _ in range(_SWAP_PROBES):
+            partner = int(rng.integers(num_pairs))
+            if partner != slot and try_switch(slot, partner):
+                switched = True
+                break
+        if not switched:
+            for partner in range(num_pairs):
+                if partner != slot and try_switch(slot, partner):
+                    switched = True
+                    break
+        if not switched:
+            raise InvalidParameterError(
+                "configuration-model repair failed to produce a simple "
+                f"graph (n={n}); the parameter combination is degenerate"
+            )
+
+
+def random_regular(
+    n: int, degree: int, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
     """A random ``degree``-regular graph on ``n`` vertices.
 
     Used by the Table 1 / Table 2 sweeps to realize a prescribed maximum
     degree exactly.  ``n * degree`` must be even and ``degree < n``.
+
+    The fast backend draws a configuration-model pairing of the ``n * degree``
+    stubs from ``numpy.random.default_rng(seed)`` and repairs collisions by
+    re-pairing (see :func:`_simple_pairing_repair`); every vertex keeps degree
+    exactly ``degree``.
     """
     if degree < 0 or degree >= n:
         raise InvalidParameterError("need 0 <= degree < n for a regular graph")
     if (n * degree) % 2 != 0:
         raise InvalidParameterError("n * degree must be even")
+    if _check_backend(backend) == "fast":
+        if degree == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return _fast_from_edges(empty, empty, n)
+        if degree == n - 1:
+            return complete_graph(n, backend="fast")  # the unique such graph
+        if degree > (n - 1) // 2:
+            # Dense regime: nearly every pair exists, so pairwise repair
+            # cannot converge.  Sample the (n - 1 - degree)-regular
+            # *complement* instead -- sparse, same machinery -- and invert.
+            complement = random_regular(n, n - 1 - degree, seed=seed, backend="fast")
+            rows, cols = complement.rows_np, complement.indices_np
+            absent = rows[rows < cols] * n + cols[rows < cols]
+            all_u, all_v = np.triu_indices(n, k=1)
+            all_keys = all_u.astype(np.int64) * n + all_v.astype(np.int64)
+            keep = np.ones(len(all_keys), dtype=bool)
+            keep[np.searchsorted(all_keys, np.sort(absent))] = False
+            return _fast_from_edges(
+                all_u.astype(np.int64)[keep], all_v.astype(np.int64)[keep], n
+            )
+        rng = np.random.default_rng(seed)
+        stubs = np.repeat(np.arange(n, dtype=np.int64), degree)
+        stubs = stubs[rng.permutation(n * degree)]
+        u = stubs[0::2].copy()
+        v = stubs[1::2].copy()
+        _simple_pairing_repair(u, v, n, rng)
+        return _fast_from_edges(u, v, n)
     if degree == 0:
         return Network({i: [] for i in range(n)})
     graph = nx.random_regular_graph(degree, n, seed=seed)
     return _from_networkx_int_labels(graph)
 
 
-def erdos_renyi(n: int, edge_probability: float, seed: int = 0) -> Network:
-    """An Erdos-Renyi random graph ``G(n, p)``."""
+def erdos_renyi(
+    n: int, edge_probability: float, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
+    """An Erdos-Renyi random graph ``G(n, p)``.
+
+    The fast backend enumerates the ``n (n - 1) / 2`` vertex pairs implicitly
+    and jumps between the selected ones with geometric skip sampling
+    (``numpy.random.default_rng(seed)``): the work is ``O(p n^2)`` -- the
+    number of *edges* -- instead of ``O(n^2)`` coin flips.
+    """
     if not 0.0 <= edge_probability <= 1.0:
         raise InvalidParameterError("edge_probability must lie in [0, 1]")
+    if _check_backend(backend) == "fast":
+        num_pairs = n * (n - 1) // 2
+        if edge_probability <= 0.0 or num_pairs == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return _fast_from_edges(empty, empty, n)
+        if edge_probability >= 1.0:
+            u, v = np.triu_indices(n, k=1)
+            return _fast_from_edges(u.astype(np.int64), v.astype(np.int64), n)
+        rng = np.random.default_rng(seed)
+        taken: List[np.ndarray] = []
+        last = -1  # linear index of the previously selected pair
+        while True:
+            expected_left = (num_pairs - last - 1) * edge_probability
+            batch = max(64, int(expected_left * 1.2) + 16)
+            gaps = rng.geometric(edge_probability, size=batch).astype(np.int64)
+            # For minuscule p a geometric draw overflows int64 (wrapping
+            # negative); any such gap provably jumps past the last pair.
+            gaps = np.where(gaps <= 0, num_pairs + 1, gaps)
+            gaps = np.minimum(gaps, num_pairs + 1)
+            positions = last + np.cumsum(gaps)
+            inside = positions[positions < num_pairs]
+            taken.append(inside)
+            if len(inside) < len(positions):
+                break
+            last = int(positions[-1])
+        selected = np.concatenate(taken)
+        # Map linear pair indices to (i, j), i < j, in lexicographic order.
+        row_starts = np.zeros(n, dtype=np.int64)
+        np.cumsum(n - 1 - np.arange(n - 1, dtype=np.int64), out=row_starts[1:])
+        u = np.searchsorted(row_starts, selected, side="right") - 1
+        v = selected - row_starts[u] + u + 1
+        return _fast_from_edges(u, v, n)
     graph = nx.gnp_random_graph(n, edge_probability, seed=seed)
     return _from_networkx_int_labels(graph)
 
 
-def power_law_graph(n: int, attachment_edges: int, seed: int = 0) -> Network:
-    """A Barabasi-Albert preferential-attachment graph (skewed degrees)."""
+def power_law_graph(
+    n: int, attachment_edges: int, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
+    """A Barabasi-Albert preferential-attachment graph (skewed degrees).
+
+    Preferential attachment is inherently sequential, so there is no
+    array-native sampler: the fast backend builds the legacy graph and
+    compiles it to CSR (identical graph, identical seed stream).
+    """
     if attachment_edges < 1 or attachment_edges >= n:
         raise InvalidParameterError("need 1 <= attachment_edges < n")
     graph = nx.barabasi_albert_graph(n, attachment_edges, seed=seed)
-    return _from_networkx_int_labels(graph)
+    network = _from_networkx_int_labels(graph)
+    if _check_backend(backend) == "fast":
+        from repro.local_model.fast_network import fast_view
+
+        return fast_view(network)
+    return network
 
 
-def random_bipartite_regular(side: int, degree: int, seed: int = 0) -> Network:
+def _repair_bipartite_matching(
+    permutation: List[int],
+    used: Set[Tuple[int, int]],
+    rand_index,
+    shuffle,
+) -> List[int]:
+    """Swap entries of ``permutation`` until no pair ``(i, p[i])`` is used.
+
+    ``used`` holds the ``(left, right)`` pairs of the already-accepted
+    matchings.  A conflict-free completion always exists while the left
+    degree stays at most ``side`` (the complement of a ``k``-regular
+    bipartite graph with ``k < side`` contains a perfect matching, Hall's
+    theorem); each successful swap removes at least one conflict without
+    creating new ones, and when no swap applies the permutation is
+    reshuffled, so the search terminates with probability 1.
+    """
+    side = len(permutation)
+    while True:
+        colliding = [i for i in range(side) if (i, permutation[i]) in used]
+        if not colliding:
+            return permutation
+        progressed = False
+        for i in colliding:
+            if (i, permutation[i]) not in used:
+                continue  # already fixed by an earlier swap of this pass
+            swap_with = -1
+            for _ in range(_SWAP_PROBES):
+                j = rand_index(side)
+                if (
+                    j != i
+                    and (i, permutation[j]) not in used
+                    and (j, permutation[i]) not in used
+                ):
+                    swap_with = j
+                    break
+            if swap_with < 0:
+                for j in range(side):
+                    if (
+                        j != i
+                        and (i, permutation[j]) not in used
+                        and (j, permutation[i]) not in used
+                    ):
+                        swap_with = j
+                        break
+            if swap_with >= 0:
+                permutation[i], permutation[swap_with] = (
+                    permutation[swap_with],
+                    permutation[i],
+                )
+                progressed = True
+        if not progressed:
+            shuffle(permutation)
+
+
+def _bipartite_identifiers(side: int):
+    def identifiers() -> Iterable:
+        return [("left", i) for i in range(side)] + [
+            ("right", i) for i in range(side)
+        ]
+
+    return identifiers
+
+
+def _fast_random_bipartite_regular(side: int, degree: int, seed: int) -> FastNetwork:
+    """Stacked random permutation matchings with per-edge collision repair."""
+    order = _bipartite_identifiers(side)
+    if degree == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return _fast_from_edges(empty, empty, 2 * side, order=order)
+    rng = np.random.default_rng(seed)
+    if degree == side:
+        # Every left port talks to every right port: the unique such graph.
+        left = np.repeat(np.arange(side, dtype=np.int64), side)
+        right = np.tile(np.arange(side, dtype=np.int64), side)
+        return _fast_from_edges(left, side + right, 2 * side, order=order)
+    matchings = np.stack([rng.permutation(side) for _ in range(degree)])
+    keys = np.arange(side, dtype=np.int64)[None, :] * side + matchings
+    if len(np.unique(keys)) != keys.size:
+        # Collisions: repair matching by matching against the accepted set.
+        used: Set[Tuple[int, int]] = set()
+        rand_index = lambda bound: int(rng.integers(bound))  # noqa: E731
+
+        def shuffle(values: List[int]) -> None:
+            values[:] = [values[t] for t in rng.permutation(len(values))]
+
+        for k in range(degree):
+            permutation = _repair_bipartite_matching(
+                matchings[k].tolist(), used, rand_index, shuffle
+            )
+            matchings[k] = permutation
+            used.update((i, permutation[i]) for i in range(side))
+    left = np.tile(np.arange(side, dtype=np.int64), degree)
+    right = matchings.astype(np.int64).ravel()
+    return _fast_from_edges(left, side + right, 2 * side, order=order)
+
+
+def random_bipartite_regular(
+    side: int, degree: int, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
     """A random bipartite ``degree``-regular graph on ``2 * side`` vertices.
 
     Bipartite regular graphs are the classical hard instances for edge
     coloring (switch scheduling / packet routing workloads in the paper's
     introduction): an optimal schedule needs exactly ``degree`` colors.
+
+    Both backends build the union of ``degree`` random perfect matchings and
+    *repair* colliding matching edges by swapping permutation entries, so
+    every vertex has degree exactly ``degree`` (earlier releases silently
+    dropped collisions that survived 200 resampling attempts, returning
+    graphs of smaller degree).  The fast backend stacks the permutations as
+    one array and draws from ``numpy.random.default_rng(seed)``.
     """
     if degree < 0 or degree > side:
         raise InvalidParameterError("need 0 <= degree <= side")
+    if _check_backend(backend) == "fast":
+        return _fast_random_bipartite_regular(side, degree, seed)
     rng = random.Random(seed)
     adjacency = {("left", i): [] for i in range(side)}
     adjacency.update({("right", i): [] for i in range(side)})
-    # Union of `degree` random perfect matchings, resampled on collisions.
-    used = set()
+    # Union of `degree` random perfect matchings; collisions are first
+    # resampled away wholesale, then repaired per edge.
+    used: Set[Tuple[int, int]] = set()
     for _ in range(degree):
         attempts = 0
         while True:
@@ -161,9 +591,12 @@ def random_bipartite_regular(side: int, degree: int, seed: int = 0) -> Network:
             candidate = {(i, permutation[i]) for i in range(side)}
             if not (candidate & used) or attempts > 200:
                 break
-        for i, j in candidate:
-            if (i, j) in used:
-                continue
+        if candidate & used:
+            permutation = _repair_bipartite_matching(
+                permutation, used, rng.randrange, rng.shuffle
+            )
+        for i in range(side):
+            j = permutation[i]
             used.add((i, j))
             adjacency[("left", i)].append(("right", j))
             adjacency[("right", j)].append(("left", i))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Tuple
 
+from repro.local_model.fast_network import as_network
 from repro.local_model.line_csr import (  # noqa: F401  (re-exported API)
     LineGraphMeta,
     build_line_graph_fast,
@@ -54,6 +55,7 @@ def build_line_graph_network(network: Network) -> Tuple[Network, Dict[EdgeId, in
         ``line_network`` is ``L(G)``; ``edge_ids`` maps each canonical edge of
         ``G`` to the unique id of its line-graph vertex.
     """
+    network = as_network(network)  # array-built workloads audit through here
     edges = [canonical_edge(network, u, v) for u, v in network.edges()]
     pair_key = {
         edge: (network.unique_id(edge[0]), network.unique_id(edge[1])) for edge in edges

@@ -11,7 +11,7 @@ compiled form is cached on the network (networks are immutable once
 constructed), so repeated runs -- e.g. the per-level invocations of Procedure
 Legal-Color -- pay the compilation cost only once.
 
-Two further capabilities sit on top of the CSR representation:
+Three further capabilities sit on top of the CSR representation:
 
 * **numpy mirrors** (:attr:`FastNetwork.indptr_np`, :attr:`~FastNetwork.indices_np`,
   :attr:`~FastNetwork.rows_np`, ...) -- zero-copy ``int64`` views of the CSR
@@ -23,7 +23,15 @@ Two further capabilities sit on top of the CSR representation:
   :class:`Network` (no re-sorting, no set-based deduplication).  The
   reference engine can still audit such a derived view through
   :meth:`FastNetwork.to_network`, which materializes the identical
-  :class:`Network` on demand.
+  :class:`Network` on demand;
+* **array construction** (:meth:`FastNetwork.from_edge_array` /
+  :meth:`FastNetwork.from_csr`) -- build a network straight from endpoint
+  arrays (or ready-made CSR arrays) without ever materializing a legacy
+  :class:`Network`: the vectorized workload generators
+  (:mod:`repro.graphs.generators`, ``backend="fast"``) enter here, node
+  identifiers stay behind a lazy provider exactly like the line-graph views
+  of :mod:`repro.local_model.line_csr`, and :meth:`to_network` remains the
+  on-demand audit path.
 """
 
 from __future__ import annotations
@@ -134,6 +142,198 @@ class FastNetwork:
         self._neighbor_ids = tuple(neighbor_ids)
         self._neighbor_id_sets = tuple(neighbor_id_sets)
         self.degrees = degrees
+
+    # ------------------------------------------------------------------ #
+    # Array constructors (no legacy Network involved)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edge_array(
+        cls,
+        u,
+        v,
+        *,
+        num_nodes: int,
+        unique_ids=None,
+        order=None,
+    ) -> "FastNetwork":
+        """Build a :class:`FastNetwork` from endpoint arrays, Network-free.
+
+        Parameters
+        ----------
+        u, v:
+            Integer arrays of equal length holding the dense endpoint indices
+            of the undirected edges (each edge listed once, in either
+            endpoint order).  Duplicate edges are deduplicated silently --
+            the same semantics as :class:`Network`'s set-based adjacency --
+            and self-loops are rejected.
+        num_nodes:
+            Number of nodes ``n``; indices must lie in ``0..n-1``.  Nodes
+            that appear in no edge become isolated vertices.
+        unique_ids:
+            Optional ``int64`` array of distinct identity numbers, one per
+            dense index.  Must be *strictly increasing*: dense order is
+            unique-id order everywhere in this package (the line-graph
+            builder and the canonical-edge enumeration rely on it), exactly
+            as a :class:`Network`-compiled view guarantees it.  Defaults to
+            ``1..n``.
+        order:
+            Node identifiers -- a sequence, or a zero-argument callable
+            returning one (the lazy-provider protocol of the line-graph
+            views: the ``n`` Python objects are interned on first use at the
+            API boundary, or never).  Defaults to the dense indices
+            themselves.
+
+        The CSR arrays are assembled by symmetrizing, lexsorting and
+        deduplicating the endpoint arrays; since dense order is unique-id
+        order, the resulting neighbor order is exactly the unique-id order a
+        legacy :class:`Network` would produce, and :meth:`to_network`
+        materializes the identical network on demand.
+        """
+        n = int(num_nodes)
+        if n < 0:
+            raise InvalidParameterError("num_nodes must be non-negative")
+        u = np.ascontiguousarray(u, dtype=np.int64).ravel()
+        v = np.ascontiguousarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise InvalidParameterError(
+                f"endpoint arrays disagree in length: {len(u)} vs {len(v)}"
+            )
+        if len(u) and (
+            u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n
+        ):
+            raise InvalidParameterError(
+                f"edge endpoints must be dense indices in 0..{n - 1}"
+            )
+        loops = u == v
+        if loops.any():
+            offender = int(u[int(np.argmax(loops))])
+            if order is None:
+                node = offender
+            else:
+                node = tuple(order() if callable(order) else order)[offender]
+            raise InvalidParameterError(
+                f"self-loop at node {node!r} is not allowed in the LOCAL model"
+            )
+
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        if len(rows):
+            by_row_then_col = np.lexsort((cols, rows))
+            rows = rows[by_row_then_col]
+            cols = cols[by_row_then_col]
+            fresh = np.empty(len(rows), dtype=bool)
+            fresh[0] = True
+            fresh[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows, cols = rows[fresh], cols[fresh]
+        degrees = np.bincount(rows, minlength=n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        return cls._from_parts(indptr, cols, degrees, n, unique_ids, order)
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr,
+        indices,
+        *,
+        unique_ids=None,
+        order=None,
+        check: bool = True,
+    ) -> "FastNetwork":
+        """Build a :class:`FastNetwork` from ready-made CSR arrays.
+
+        ``indptr``/``indices`` follow the usual convention (neighbors of node
+        ``i`` are ``indices[indptr[i]:indptr[i + 1]]``).  With ``check=True``
+        (the default) the arrays are validated vectorially: monotone
+        ``indptr``, in-range indices, per-row strictly ascending neighbor
+        lists (which is the unique-id neighbor order, and excludes duplicate
+        edges), no self-loops, and a symmetric adjacency.  Pass
+        ``check=False`` only for arrays produced by trusted array code.
+        ``unique_ids`` / ``order`` behave as in :meth:`from_edge_array`.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64).ravel()
+        indices = np.ascontiguousarray(indices, dtype=np.int64).ravel()
+        if len(indptr) == 0 or indptr[0] != 0:
+            raise InvalidParameterError("indptr must start with 0")
+        n = len(indptr) - 1
+        degrees = np.diff(indptr)
+        if check:
+            if (degrees < 0).any():
+                raise InvalidParameterError("indptr must be non-decreasing")
+            if int(indptr[-1]) != len(indices):
+                raise InvalidParameterError(
+                    f"indptr ends at {int(indptr[-1])} but there are "
+                    f"{len(indices)} CSR entries"
+                )
+            if len(indices) and (indices.min() < 0 or indices.max() >= n):
+                raise InvalidParameterError(
+                    f"CSR indices must be dense indices in 0..{n - 1}"
+                )
+            rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            if (rows == indices).any():
+                raise InvalidParameterError(
+                    "self-loops are not allowed in the LOCAL model"
+                )
+            interior = np.ones(len(indices), dtype=bool)
+            starts = indptr[1:-1]
+            interior[starts[starts < len(indices)]] = False  # row starts
+            if len(indices) and not (np.diff(indices) > 0)[interior[1:]].all():
+                raise InvalidParameterError(
+                    "neighbor lists must be strictly increasing per row "
+                    "(dense order is unique-id order)"
+                )
+            forward = np.sort(rows * n + indices)
+            backward = np.sort(indices * n + rows)
+            if not np.array_equal(forward, backward):
+                raise InvalidParameterError("adjacency must be symmetric")
+        return cls._from_parts(indptr, indices, degrees, n, unique_ids, order)
+
+    @classmethod
+    def _from_parts(
+        cls, indptr, indices, degrees, num_nodes, unique_ids, order
+    ) -> "FastNetwork":
+        """Finalize an array-built view (shared by the array constructors)."""
+        if unique_ids is None:
+            unique_ids = np.arange(1, num_nodes + 1, dtype=np.int64)
+        else:
+            unique_ids = np.ascontiguousarray(unique_ids, dtype=np.int64).ravel()
+            if unique_ids.shape != (num_nodes,):
+                raise InvalidParameterError(
+                    f"unique_ids must have one entry per node ({num_nodes}), "
+                    f"got shape {unique_ids.shape}"
+                )
+            if len(unique_ids) > 1 and not (np.diff(unique_ids) > 0).all():
+                raise InvalidParameterError(
+                    "unique_ids must be strictly increasing along the dense "
+                    "index (dense order is unique-id order)"
+                )
+        built = cls(None)
+        built.network = None
+        built.num_nodes = int(num_nodes)
+        built.unique_ids = _int64_array(unique_ids)
+        built.indptr = _int64_array(np.asarray(indptr, dtype=np.int64))
+        built.indices = _int64_array(np.asarray(indices, dtype=np.int64))
+        built.degrees = _int64_array(np.asarray(degrees, dtype=np.int64))
+        built.max_degree = int(np.max(degrees)) if num_nodes else 0
+        built._neighbor_ids = None
+        built._neighbor_id_sets = None
+        built._index_of = None  # interned lazily from `order` on first use
+        if order is None:
+            built._order = None
+            built._order_provider = lambda: range(built.num_nodes)
+        elif callable(order):
+            built._order = None
+            built._order_provider = order
+        else:
+            order = tuple(order)
+            if len(order) != num_nodes:
+                raise InvalidParameterError(
+                    f"order must list all {num_nodes} node identifiers, "
+                    f"got {len(order)}"
+                )
+            built._order = order
+        return built
 
     # ------------------------------------------------------------------ #
     # Basic accessors (duck-typed with Network where algorithms need it)
@@ -372,6 +572,19 @@ class FastNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FastNetwork(n={self.num_nodes}, nnz={len(self.indices)})"
+
+
+def as_network(network) -> Network:
+    """The legacy :class:`Network` for ``network`` (materialized on demand).
+
+    The inverse convenience of :func:`fast_view`: algorithms that still need
+    the mapping-based :class:`Network` API (the sequential baselines, the
+    legacy line-graph constructor) call this at their boundary, so they keep
+    accepting array-built :class:`FastNetwork` workloads.
+    """
+    if isinstance(network, FastNetwork):
+        return network.to_network()
+    return network
 
 
 def fast_view(network) -> FastNetwork:

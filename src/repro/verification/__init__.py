@@ -7,6 +7,8 @@ from repro.verification.coloring import (
     edge_coloring_defect,
     is_legal_edge_coloring,
     is_legal_vertex_coloring,
+    max_color,
+    min_color,
     palette_size,
 )
 from repro.verification.bounds import (
@@ -23,6 +25,8 @@ __all__ = [
     "edge_coloring_defect",
     "is_legal_edge_coloring",
     "is_legal_vertex_coloring",
+    "max_color",
+    "min_color",
     "palette_size",
     "theorem_3_7_defect_bound",
     "verify_legal_coloring_result",

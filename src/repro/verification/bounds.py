@@ -11,14 +11,14 @@ assertions used by the test-suite and the benchmark harnesses:
 
 from __future__ import annotations
 
-from typing import Mapping, Hashable
-
 from repro.exceptions import ColoringError
-from repro.local_model.network import Network
 from repro.verification.coloring import (
+    ColorsLike,
+    NetworkLike,
     assert_legal_vertex_coloring,
     coloring_defect,
     max_color,
+    min_color,
 )
 
 
@@ -32,8 +32,8 @@ def theorem_3_7_defect_bound(Lambda: int, b: int, p: int, c: int) -> int:
 
 
 def assert_defective_coloring(
-    network: Network,
-    colors: Mapping[Hashable, int],
+    network: NetworkLike,
+    colors: ColorsLike,
     max_defect: int,
     max_palette: int,
     context: str = "defective coloring",
@@ -49,14 +49,14 @@ def assert_defective_coloring(
         raise ColoringError(
             f"{context}: color {largest} exceeds the declared palette {max_palette}"
         )
-    smallest = min(colors.values(), default=1)
+    smallest = min_color(colors)
     if smallest < 1:
         raise ColoringError(f"{context}: colors must be positive, found {smallest}")
 
 
 def verify_legal_coloring_result(
-    network: Network,
-    colors: Mapping[Hashable, int],
+    network: NetworkLike,
+    colors: ColorsLike,
     palette_bound: int,
     context: str = "legal coloring",
 ) -> None:

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
 import pytest
 
 from repro import graphs
 from repro.exceptions import ColoringError
 from repro.local_model import Network
+from repro.local_model.fast_network import fast_view
 from repro.verification.bounds import (
     assert_defective_coloring,
     theorem_3_7_defect_bound,
@@ -88,6 +92,109 @@ class TestEdgeColoringOracles:
         network = Network.from_edges([(1, 2), (3, 4)])
         edge_colors = {edge: 1 for edge in network.edges()}
         assert is_legal_edge_coloring(network, edge_colors)
+
+
+class TestArrayOracles:
+    """The masked-CSR oracle paths agree with the mapping paths exactly --
+    verdicts, defects, and error messages byte for byte."""
+
+    MAKERS = [
+        lambda: graphs.random_regular(24, 4, seed=7),
+        lambda: graphs.erdos_renyi(25, 0.2, seed=3),
+        lambda: graphs.star_graph(6),
+        lambda: graphs.grid_graph(4, 5),
+        lambda: graphs.clique_with_pendants(5),
+    ]
+
+    @staticmethod
+    def _message(callable_, *args):
+        try:
+            callable_(*args)
+        except ColoringError as error:
+            return str(error)
+        return None
+
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_vertex_oracles_agree_across_forms(self, maker):
+        network = maker()
+        fast = fast_view(network)
+        rnd = random.Random(0)
+        for _ in range(20):
+            colors = {node: rnd.randrange(1, 5) for node in network.nodes()}
+            column = np.array([colors[node] for node in fast.order], dtype=np.int64)
+            assert is_legal_vertex_coloring(fast, column) == is_legal_vertex_coloring(
+                network, colors
+            )
+            assert coloring_defect(fast, column) == coloring_defect(network, colors)
+            assert self._message(
+                assert_legal_vertex_coloring, fast, column
+            ) == self._message(assert_legal_vertex_coloring, network, colors)
+            # Mixed forms dispatch to the array kernels too.
+            assert is_legal_vertex_coloring(fast, colors) == is_legal_vertex_coloring(
+                network, column
+            )
+
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_edge_oracles_agree_across_forms(self, maker):
+        network = maker()
+        fast = fast_view(network)
+        rnd = random.Random(1)
+        for _ in range(20):
+            edge_colors = {edge: rnd.randrange(1, 7) for edge in network.edges()}
+            column = np.array(
+                [edge_colors[edge] for edge in network.edges()], dtype=np.int64
+            )
+            assert is_legal_edge_coloring(fast, column) == is_legal_edge_coloring(
+                network, edge_colors
+            )
+            assert edge_coloring_defect(fast, column) == edge_coloring_defect(
+                network, edge_colors
+            )
+            assert self._message(
+                assert_legal_edge_coloring, fast, column
+            ) == self._message(assert_legal_edge_coloring, network, edge_colors)
+
+    def test_missing_entries_report_the_same_errors(self):
+        network = graphs.cycle_graph(3)
+        fast = fast_view(network)
+        short_vertex = self._message(
+            is_legal_vertex_coloring, fast, np.array([1], dtype=np.int64)
+        )
+        mapping_vertex = self._message(
+            is_legal_vertex_coloring, network, {network.nodes()[0]: 1}
+        )
+        assert short_vertex == mapping_vertex
+        short_edge = self._message(
+            is_legal_edge_coloring, fast, np.array([1], dtype=np.int64)
+        )
+        mapping_edge = self._message(
+            is_legal_edge_coloring, network, {network.edges()[0]: 1}
+        )
+        assert short_edge == mapping_edge
+        oversized = self._message(
+            is_legal_vertex_coloring, fast, np.ones(9, dtype=np.int64)
+        )
+        assert "9 entries" in oversized
+
+    def test_palette_helpers_accept_columns(self):
+        column = np.array([3, 3, 7], dtype=np.int64)
+        assert palette_size(column) == 2
+        assert max_color(column) == 7
+        assert max_color(np.zeros(0, dtype=np.int64)) == 0
+        assert palette_size(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_column_verification_on_a_fast_built_workload(self):
+        fast = graphs.random_regular(40, 6, seed=2, backend="fast")
+        from repro.core import color_vertices
+
+        result = color_vertices(fast, c=6, quality="superlinear", engine="vectorized")
+        assert is_legal_vertex_coloring(fast, result.color_column)
+        assert coloring_defect(fast, result.color_column) == 0
+        broken = result.color_column.copy()
+        broken[int(fast.indices_np[0])] = broken[0]  # recolor a neighbor of node 0
+        assert not is_legal_vertex_coloring(fast, broken)
+        with pytest.raises(ColoringError):
+            assert_legal_vertex_coloring(fast, broken)
 
 
 class TestBoundCheckers:
