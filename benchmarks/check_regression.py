@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
 """Compare a fresh engine-speedup record against the committed baseline.
 
-The CI perf-regression gate runs the quick-mode engine-speedup benchmark
-(``REPRO_BENCH_QUICK=1 REPRO_BENCH_RECORD=1``), which writes a fresh results
-JSON, and then calls this script to compare it against the committed baseline
-(``benchmarks/results/engine_speedup_quick.json``).  The build fails when any
-engine-relative *speedup ratio* regressed by more than the tolerance
-(default 30%).
+The CI perf-regression gate runs the quick-mode benchmarks
+(``REPRO_BENCH_QUICK=1 REPRO_BENCH_RECORD=1``), which write fresh results
+JSONs, and then calls this script once per record to compare it against the
+committed baseline (``benchmarks/results/engine_speedup_quick.json`` and
+``benchmarks/results/dynamic_churn_quick.json``).  The build fails when any
+*speedup ratio* regressed by more than the tolerance (default 30%).
 
 Why ratios and not wall times: CI machines differ wildly in absolute speed,
 so comparing seconds across runners would flake constantly.  The speedup of
@@ -45,14 +45,16 @@ SPEEDUP_KEYS = (
     "speedup_vectorized_over_reference",
     "speedup_fast_setup_over_legacy",
     "speedup_fast_line_setup_over_legacy",
+    "speedup_incremental_over_recompute",
 )
 
 #: Row sections of the results record the gate compares.  "sizes" is the
-#: Legal-Color column; "edge_sizes" is the end-to-end edge-coloring column
-#: (CSR line-graph builder + Corollary 5.4 kernel); "setup_sizes" is the
-#: workload-setup column (array-built generators + CSR verification oracles
-#: vs. the legacy networkx -> Network -> Python-loop path).  All but "sizes"
-#: are optional so records from before those pipelines stay comparable.
+#: Legal-Color column (or, for ``dynamic_churn`` records, the churn column);
+#: "edge_sizes" is the end-to-end edge-coloring column (CSR line-graph
+#: builder + Corollary 5.4 kernel); "setup_sizes" is the workload-setup
+#: column (array-built generators + CSR verification oracles vs. the legacy
+#: networkx -> Network -> Python-loop path).  All but "sizes" are optional
+#: so records from before those pipelines stay comparable.
 SECTIONS = ("sizes", "edge_sizes", "setup_sizes")
 
 

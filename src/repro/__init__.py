@@ -22,6 +22,7 @@ from repro import (
     analysis,
     baselines,
     core,
+    dynamic,
     experiments,
     graphs,
     local_model,
@@ -38,6 +39,7 @@ from repro.core import (
     run_legal_coloring,
     tradeoff_color_vertices,
 )
+from repro.dynamic import DynamicColoring, UpdateReport
 from repro.exceptions import (
     ColoringError,
     GraphPropertyError,
@@ -60,11 +62,12 @@ from repro.local_model import (
     use_engine,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchedScheduler",
     "ColoringError",
+    "DynamicColoring",
     "EdgeColoringResult",
     "FastNetwork",
     "GraphPropertyError",
@@ -77,6 +80,7 @@ __all__ = [
     "RunMetrics",
     "Scheduler",
     "SimulationError",
+    "UpdateReport",
     "VectorizedScheduler",
     "__version__",
     "analysis",
@@ -85,6 +89,7 @@ __all__ = [
     "color_edges",
     "color_vertices",
     "core",
+    "dynamic",
     "experiments",
     "graphs",
     "local_model",

@@ -200,6 +200,56 @@ def _build_bipartite_regular(spec: GraphSpec) -> NetworkLike:
     )
 
 
+@register_graph_family("barabasi_albert")
+def _build_barabasi_albert(spec: GraphSpec) -> NetworkLike:
+    """Preferential attachment with ``degree`` edges per arriving vertex."""
+    from repro import graphs
+
+    return graphs.barabasi_albert(
+        spec.n, spec.degree, seed=spec.seed or 0, backend=spec.backend
+    )
+
+
+@register_graph_family("planted_degree_sequence")
+def _build_planted_degree_sequence(spec: GraphSpec) -> NetworkLike:
+    """Configuration model over a heavy-tailed sequence (knobs via ``extra``)."""
+    from repro import graphs
+
+    extra = dict(spec.extra)
+    degrees = graphs.heavy_tailed_degree_sequence(
+        spec.n,
+        exponent=extra.get("exponent", 2.5),
+        min_degree=extra.get("min_degree", 1),
+        max_degree=extra.get("max_degree"),
+        seed=spec.seed or 0,
+    )
+    return graphs.planted_degree_sequence(
+        degrees, seed=spec.seed or 0, backend=spec.backend
+    )
+
+
+@register_graph_family("random_geometric")
+def _build_random_geometric(spec: GraphSpec) -> NetworkLike:
+    """Unit-square geometric graph; connection radius via ``extra``."""
+    from repro import graphs
+
+    extra = dict(spec.extra)
+    radius = extra.get("radius", 0.1)
+    return graphs.random_geometric(
+        spec.n, radius, seed=spec.seed or 0, backend=spec.backend
+    )
+
+
+@register_graph_family("bipartite_switch")
+def _build_bipartite_switch(spec: GraphSpec) -> NetworkLike:
+    """Switch-fabric demand instance: ``n`` ports, ``degree`` demands per port."""
+    from repro import graphs
+
+    return graphs.bipartite_switch(
+        spec.n, spec.degree, seed=spec.seed or 0, backend=spec.backend
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Tradeoff g-function registry (callables are not picklable scenario data)
 # --------------------------------------------------------------------------- #

@@ -8,15 +8,20 @@ harnesses (neighborhood independence, growth, claws, acyclic orientations).
 """
 
 from repro.graphs.generators import (
+    barabasi_albert,
+    bipartite_switch,
     clique_with_pendants,
     complete_graph,
     cycle_graph,
     erdos_renyi,
     grid_graph,
+    heavy_tailed_degree_sequence,
     hypercube_graph,
     path_graph,
+    planted_degree_sequence,
     power_law_graph,
     random_bipartite_regular,
+    random_geometric,
     random_regular,
     star_graph,
 )
@@ -43,6 +48,8 @@ from repro.graphs.properties import (
 __all__ = [
     "Hypergraph",
     "acyclic_orientation_from_coloring",
+    "barabasi_albert",
+    "bipartite_switch",
     "build_line_graph_fast",
     "build_line_graph_network",
     "clique_with_pendants",
@@ -53,6 +60,7 @@ __all__ = [
     "grid_graph",
     "growth_function",
     "has_neighborhood_independence_at_most",
+    "heavy_tailed_degree_sequence",
     "hypercube_graph",
     "hypergraph_line_graph",
     "is_acyclic_orientation",
@@ -62,8 +70,10 @@ __all__ = [
     "max_out_degree",
     "neighborhood_independence",
     "path_graph",
+    "planted_degree_sequence",
     "power_law_graph",
     "random_bipartite_regular",
+    "random_geometric",
     "random_regular",
     "star_graph",
 ]

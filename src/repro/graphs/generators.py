@@ -11,7 +11,12 @@ These are the graph families the paper motivates or analyses:
 * generic benchmark graphs (random regular, Erdos-Renyi, power-law) used by
   the Table 1 / Table 2 sweeps to realize a prescribed maximum degree,
 * bipartite regular graphs -- the switch-scheduling / packet-routing
-  instances of the paper's introduction.
+  instances of the paper's introduction,
+* heavy-tailed and geometric workload families with array-native fast
+  samplers (:func:`barabasi_albert`, :func:`planted_degree_sequence` over
+  :func:`heavy_tailed_degree_sequence`, :func:`random_geometric`,
+  :func:`bipartite_switch`) -- the high-variance-degree and churning shapes
+  the dynamic recoloring layer (:mod:`repro.dynamic`) is exercised on.
 
 All generators are deterministic given their ``seed`` argument, so benchmark
 runs are reproducible.
@@ -523,9 +528,125 @@ def _bipartite_identifiers(side: int):
     return identifiers
 
 
-def _fast_random_bipartite_regular(side: int, degree: int, seed: int) -> FastNetwork:
-    """Stacked random permutation matchings with per-edge collision repair."""
-    order = _bipartite_identifiers(side)
+def _membership_in_sorted(sorted_keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean mask: which ``values`` occur in the sorted int64 ``sorted_keys``."""
+    slots = np.searchsorted(sorted_keys, values)
+    inside = slots < len(sorted_keys)
+    out = np.zeros(len(values), dtype=bool)
+    out[inside] = sorted_keys[slots[inside]] == values[inside]
+    return out
+
+
+def _repair_matching_sorted(
+    row: np.ndarray, accepted: np.ndarray, side: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Swap entries of ``row`` until no pair ``(i, row[i])`` is accepted.
+
+    Array twin of :func:`_repair_bipartite_matching`: membership in the
+    accepted-edge set is a ``searchsorted`` probe into one sorted int64
+    pair-key array instead of a Python set of tuples.  Same existence
+    argument (Hall's theorem on the complement), same
+    probe-then-scan-then-reshuffle search.
+    """
+    row = row.copy()
+    lanes = np.arange(side, dtype=np.int64)
+
+    def used(i: int, j: int) -> bool:
+        key = i * side + j
+        slot = int(np.searchsorted(accepted, key))
+        return slot < len(accepted) and accepted[slot] == key
+
+    while True:
+        colliding = np.flatnonzero(_membership_in_sorted(accepted, lanes * side + row))
+        if len(colliding) == 0:
+            return row
+        progressed = False
+        for i in colliding.tolist():
+            if not used(i, int(row[i])):
+                continue  # already fixed by an earlier swap of this pass
+            swap_with = -1
+            for _ in range(_SWAP_PROBES):
+                j = int(rng.integers(side))
+                if j != i and not used(i, int(row[j])) and not used(j, int(row[i])):
+                    swap_with = j
+                    break
+            if swap_with < 0:
+                for j in range(side):
+                    if j != i and not used(i, int(row[j])) and not used(j, int(row[i])):
+                        swap_with = j
+                        break
+            if swap_with >= 0:
+                row[i], row[swap_with] = row[swap_with], row[i]
+                progressed = True
+        if not progressed:
+            row = row[rng.permutation(side)]
+
+
+def _random_biregular_matchings(
+    side: int, degree: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``degree`` pairwise edge-disjoint random permutations of ``0..side-1``.
+
+    Row ``k`` maps left port ``i`` to right port ``matchings[k, i]``; the
+    union of the rows is a simple bipartite ``degree``-regular graph.
+    Collisions between rows are cleared with the same two-phase scheme as
+    :func:`_simple_pairing_repair`: vectorized pooled re-permutation rounds
+    first (collision detection is one sorted pair-key pass over all
+    ``side * degree`` edges -- no Python edge set), then an exact
+    per-matching swap repair for the small dense instances that keep
+    colliding, probing the accepted keys with :func:`_membership_in_sorted`.
+    """
+    matchings = np.stack([rng.permutation(side) for _ in range(degree)]).astype(
+        np.int64
+    )
+    if degree <= 1:
+        return matchings
+    lanes = np.arange(side, dtype=np.int64)
+    for _ in range(_MAX_POOL_ROUNDS):
+        keys = (lanes[None, :] * side + matchings).ravel()
+        by_key = np.argsort(keys, kind="stable")
+        sorted_keys = keys[by_key]
+        duplicate_sorted = np.zeros(len(keys), dtype=bool)
+        duplicate_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+        duplicate = np.zeros(len(keys), dtype=bool)
+        duplicate[by_key] = duplicate_sorted
+        colliding = duplicate.reshape(degree, side)
+        if not colliding.any():
+            return matchings
+        # Reshuffle each colliding row's bad lanes (mixed with an equal
+        # number of good lanes) among themselves: stays a permutation,
+        # re-randomizes every collision.
+        for k in np.flatnonzero(colliding.any(axis=1)):
+            bad = np.flatnonzero(colliding[k])
+            good = np.flatnonzero(~colliding[k])
+            mixed_in = min(len(good), len(bad))
+            if mixed_in:
+                chosen = rng.choice(good, size=mixed_in, replace=False)
+                slots = np.concatenate([bad, chosen])
+            else:
+                slots = bad
+            matchings[k, slots] = matchings[k, slots[rng.permutation(len(slots))]]
+    # Exact fallback: accept matchings one by one, swapping conflicted
+    # entries against the sorted pair keys of everything accepted so far.
+    accepted = np.zeros(0, dtype=np.int64)
+    for k in range(degree):
+        repaired = _repair_matching_sorted(matchings[k], accepted, side, rng)
+        matchings[k] = repaired
+        accepted = np.sort(np.concatenate([accepted, lanes * side + repaired]))
+    return matchings
+
+
+def _fast_random_bipartite_regular(
+    side: int, degree: int, seed: int, order=None
+) -> FastNetwork:
+    """Stacked random permutation matchings, repaired with array passes.
+
+    Dense instances (``2 * degree > side``) sample the
+    ``(side - degree)``-regular bipartite *complement* and invert it -- the
+    same diversion :func:`random_regular` uses -- so the repair only ever
+    runs in the regime where fresh permutations rarely collide.
+    """
+    order = order or _bipartite_identifiers(side)
     if degree == 0:
         empty = np.zeros(0, dtype=np.int64)
         return _fast_from_edges(empty, empty, 2 * side, order=order)
@@ -535,24 +656,19 @@ def _fast_random_bipartite_regular(side: int, degree: int, seed: int) -> FastNet
         left = np.repeat(np.arange(side, dtype=np.int64), side)
         right = np.tile(np.arange(side, dtype=np.int64), side)
         return _fast_from_edges(left, side + right, 2 * side, order=order)
-    matchings = np.stack([rng.permutation(side) for _ in range(degree)])
-    keys = np.arange(side, dtype=np.int64)[None, :] * side + matchings
-    if len(np.unique(keys)) != keys.size:
-        # Collisions: repair matching by matching against the accepted set.
-        used: Set[Tuple[int, int]] = set()
-        rand_index = lambda bound: int(rng.integers(bound))  # noqa: E731
-
-        def shuffle(values: List[int]) -> None:
-            values[:] = [values[t] for t in rng.permutation(len(values))]
-
-        for k in range(degree):
-            permutation = _repair_bipartite_matching(
-                matchings[k].tolist(), used, rand_index, shuffle
-            )
-            matchings[k] = permutation
-            used.update((i, permutation[i]) for i in range(side))
+    if 2 * degree > side:
+        complement = _random_biregular_matchings(side, side - degree, rng)
+        lanes = np.tile(np.arange(side, dtype=np.int64), side - degree)
+        absent = np.sort(lanes * side + complement.ravel())
+        keep = np.ones(side * side, dtype=bool)
+        keep[absent] = False
+        keys = np.flatnonzero(keep).astype(np.int64)
+        return _fast_from_edges(
+            keys // side, side + keys % side, 2 * side, order=order
+        )
+    matchings = _random_biregular_matchings(side, degree, rng)
     left = np.tile(np.arange(side, dtype=np.int64), degree)
-    right = matchings.astype(np.int64).ravel()
+    right = matchings.ravel()
     return _fast_from_edges(left, side + right, 2 * side, order=order)
 
 
@@ -570,7 +686,10 @@ def random_bipartite_regular(
     every vertex has degree exactly ``degree`` (earlier releases silently
     dropped collisions that survived 200 resampling attempts, returning
     graphs of smaller degree).  The fast backend stacks the permutations as
-    one array and draws from ``numpy.random.default_rng(seed)``.
+    one array, draws from ``numpy.random.default_rng(seed)``, detects and
+    repairs collisions with sorted pair-key ``searchsorted`` passes (no
+    Python edge set), and diverts dense instances (``2 * degree > side``) to
+    complement sampling.
     """
     if degree < 0 or degree > side:
         raise InvalidParameterError("need 0 <= degree <= side")
@@ -601,3 +720,249 @@ def random_bipartite_regular(
             adjacency[("left", i)].append(("right", j))
             adjacency[("right", j)].append(("left", i))
     return Network(adjacency)
+
+
+# --------------------------------------------------------------------------- #
+# Heavy-tailed / geometric workload families (array-native fast samplers)
+# --------------------------------------------------------------------------- #
+
+
+def barabasi_albert(
+    n: int, attachment_edges: int, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
+    """A Barabasi-Albert graph with an array-native fast sampler.
+
+    Unlike :func:`power_law_graph` (whose fast backend compiles the legacy
+    networkx graph bit-for-bit), this family gives the fast backend its own
+    documented stream so large instances never touch networkx: the
+    repeated-nodes sampler (Batagelj-Brandes) draws each new vertex's
+    ``attachment_edges`` distinct targets uniformly from the running
+    edge-endpoint multiset via ``numpy.random.default_rng(seed)`` -- a
+    uniform draw from that multiset *is* a degree-proportional draw over the
+    vertices.  Invariants on both backends: simple,
+    ``attachment_edges * (n - attachment_edges)`` edges, and every vertex of
+    index ``>= attachment_edges`` has degree at least ``attachment_edges``.
+    """
+    if attachment_edges < 1 or attachment_edges >= n:
+        raise InvalidParameterError("need 1 <= attachment_edges < n")
+    if _check_backend(backend) == "fast":
+        m = attachment_edges
+        rng = np.random.default_rng(seed)
+        u = np.repeat(np.arange(m, n, dtype=np.int64), m)
+        v = np.empty(m * (n - m), dtype=np.int64)
+        endpoints = np.empty(2 * m * (n - m), dtype=np.int64)
+        filled = 0
+        targets = np.arange(m, dtype=np.int64)  # vertex m adopts all seeds
+        for vertex in range(m, n):
+            base = (vertex - m) * m
+            v[base : base + m] = targets
+            endpoints[filled : filled + m] = targets
+            endpoints[filled + m : filled + 2 * m] = vertex
+            filled += 2 * m
+            if vertex == n - 1:
+                break
+            fresh: List[int] = []
+            seen: Set[int] = set()
+            while len(fresh) < m:
+                draws = endpoints[rng.integers(0, filled, size=m - len(fresh))]
+                for target in draws.tolist():
+                    if target not in seen:
+                        seen.add(target)
+                        fresh.append(target)
+            targets = np.array(fresh, dtype=np.int64)
+        return _fast_from_edges(u, v, n)
+    return _from_networkx_int_labels(
+        nx.barabasi_albert_graph(n, attachment_edges, seed=seed)
+    )
+
+
+def heavy_tailed_degree_sequence(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: int = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """A power-law degree sequence for :func:`planted_degree_sequence`.
+
+    Samples ``n`` degrees from the discrete distribution
+    ``P(d) proportional to d ** -exponent`` on ``[min_degree, max_degree]``
+    (default cap ``~sqrt(n)``, which keeps the sequence graphical by
+    Erdos-Gallai at these sizes) and fixes the parity of the sum by bumping
+    one vertex.  Module-level so :class:`~repro.experiments.scenarios.GraphSpec`
+    builders can reference it picklably.
+    """
+    if n < 2:
+        raise InvalidParameterError("n must be at least 2")
+    if min_degree < 0:
+        raise InvalidParameterError("min_degree must be non-negative")
+    if max_degree is None:
+        max_degree = max(min_degree, min(n - 1, int(round(n**0.5))))
+    if not min_degree <= max_degree <= n - 1:
+        raise InvalidParameterError("need min_degree <= max_degree <= n - 1")
+    if exponent <= 0:
+        raise InvalidParameterError("exponent must be positive")
+    rng = np.random.default_rng(seed)
+    support = np.arange(min_degree, max_degree + 1, dtype=np.int64)
+    weights = np.maximum(support, 1).astype(np.float64) ** -float(exponent)
+    degrees = rng.choice(support, size=n, p=weights / weights.sum()).astype(np.int64)
+    if int(degrees.sum()) % 2:
+        below_cap = degrees < max_degree
+        if below_cap.any():
+            degrees[int(np.argmax(below_cap))] += 1
+        else:
+            degrees[0] -= 1
+    return degrees
+
+
+def planted_degree_sequence(
+    degrees, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
+    """A random simple graph realizing a *planted* per-vertex degree array.
+
+    Configuration-model pairing over the given degrees (sum must be even),
+    repaired to a simple graph by :func:`_simple_pairing_repair` -- every
+    vertex ends with exactly its planted degree.  No networkx twin offers
+    this exactness guarantee, so both backends share the single fast stream
+    (``numpy.random.default_rng(seed)``); ``backend="legacy"`` materializes
+    the result via ``to_network()``.  Raises
+    :class:`~repro.exceptions.InvalidParameterError` for degenerate
+    (non-graphical) sequences that no repair can make simple.
+    """
+    degrees = np.ascontiguousarray(degrees, dtype=np.int64).ravel()
+    n = int(len(degrees))
+    if n < 1:
+        raise InvalidParameterError("the degree sequence must be non-empty")
+    if degrees.min(initial=0) < 0 or degrees.max(initial=0) >= max(n, 1):
+        raise InvalidParameterError("need 0 <= degree < n for every vertex")
+    if int(degrees.sum()) % 2:
+        raise InvalidParameterError("the degree sum must be even")
+    _check_backend(backend)
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    stubs = stubs[rng.permutation(len(stubs))]
+    u = stubs[0::2].copy()
+    v = stubs[1::2].copy()
+    _simple_pairing_repair(u, v, n, rng)
+    fast = _fast_from_edges(u, v, n)
+    return fast if backend == "fast" else fast.to_network()
+
+
+def _geometric_edges(
+    points: np.ndarray, radius: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All point pairs within ``radius``: a forward half-neighborhood cell sweep.
+
+    Points are bucketed into a grid of squares with side ``>= radius``, so
+    every close pair lies in the same or in 8-adjacent cells; enumerating
+    only the 5 *forward* cell offsets ``(0,0), (0,1), (1,-1), (1,0), (1,1)``
+    (and ``i < j`` within a cell) yields each unordered pair exactly once.
+    """
+    n = len(points)
+    if n <= 1:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    cells = max(1, int(np.floor(1.0 / radius))) if radius < 1.0 else 1
+    cell_x = np.minimum((points[:, 0] * cells).astype(np.int64), cells - 1)
+    cell_y = np.minimum((points[:, 1] * cells).astype(np.int64), cells - 1)
+    by_cell = np.argsort(cell_x * cells + cell_y, kind="stable")
+    occupied, starts, counts = np.unique(
+        (cell_x * cells + cell_y)[by_cell], return_index=True, return_counts=True
+    )
+    occ_x = occupied // cells
+    occ_y = occupied % cells
+    radius_sq = radius * radius
+    parts_u: List[np.ndarray] = []
+    parts_v: List[np.ndarray] = []
+    for dx, dy in ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1)):
+        if dx == 0 and dy == 0:
+            src = np.arange(len(occupied))
+            dst = src
+        else:
+            tx = occ_x + dx
+            ty = occ_y + dy
+            inside = (tx >= 0) & (tx < cells) & (ty >= 0) & (ty < cells)
+            target = tx * cells + ty
+            slot = np.searchsorted(occupied, target)
+            hit = inside & (slot < len(occupied))
+            hit[hit] = occupied[slot[hit]] == target[hit]
+            src = np.flatnonzero(hit)
+            dst = slot[hit]
+        pair_counts = counts[src] * counts[dst]
+        total = int(pair_counts.sum())
+        if total == 0:
+            continue
+        match = np.repeat(np.arange(len(src)), pair_counts)
+        local = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(pair_counts) - pair_counts, pair_counts
+        )
+        width = np.repeat(counts[dst], pair_counts)
+        left_local = local // width
+        right_local = local % width
+        gu = by_cell[starts[src][match] + left_local]
+        gv = by_cell[starts[dst][match] + right_local]
+        if dx == 0 and dy == 0:
+            forward = left_local < right_local
+            gu = gu[forward]
+            gv = gv[forward]
+        close = ((points[gu] - points[gv]) ** 2).sum(axis=1) <= radius_sq
+        parts_u.append(gu[close])
+        parts_v.append(gv[close])
+    if not parts_u:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(parts_u), np.concatenate(parts_v)
+
+
+def random_geometric(
+    n: int, radius: float, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
+    """A random geometric graph on the unit square (wireless-mesh shape).
+
+    ``n`` points uniform in ``[0, 1)^2``; vertices at Euclidean distance at
+    most ``radius`` are adjacent.  The legacy backend is networkx's
+    ``random_geometric_graph``.  The fast backend draws the points as
+    ``numpy.random.default_rng(seed).random((n, 2))`` -- its first draws, so
+    tests can regenerate them -- and finds the close pairs with the cell-grid
+    sweep of :func:`_geometric_edges`: ``O(n + candidate pairs)`` instead of
+    the ``O(n^2)`` all-pairs check.
+    """
+    if n < 1:
+        raise InvalidParameterError("n must be at least 1")
+    if not radius > 0:
+        raise InvalidParameterError("radius must be positive")
+    if _check_backend(backend) == "fast":
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, 2))
+        u, v = _geometric_edges(points, float(radius))
+        return _fast_from_edges(u, v, n)
+    return _from_networkx_int_labels(nx.random_geometric_graph(n, radius, seed=seed))
+
+
+def bipartite_switch(
+    ports: int, demand_degree: int, seed: int = 0, backend: str = "legacy"
+) -> GeneratedNetwork:
+    """A switch-fabric demand instance: random bipartite biregular graph.
+
+    The switch-scheduling workload of the paper's introduction: ``ports``
+    input ports, ``ports`` output ports, every port on exactly
+    ``demand_degree`` demands.  Structurally :func:`random_bipartite_regular`
+    with switch-flavored node identifiers (``("in", i)`` / ``("out", j)``)
+    and the same array-native sampler end to end, so million-port instances
+    are practical.  Both backends share the single fast stream
+    (``numpy.random.default_rng(seed)``); ``backend="legacy"`` materializes
+    via ``to_network()``.
+    """
+    if ports < 1:
+        raise InvalidParameterError("ports must be at least 1")
+    if demand_degree < 0 or demand_degree > ports:
+        raise InvalidParameterError("need 0 <= demand_degree <= ports")
+    _check_backend(backend)
+
+    def identifiers() -> Iterable:
+        return [("in", i) for i in range(ports)] + [
+            ("out", i) for i in range(ports)
+        ]
+
+    fast = _fast_random_bipartite_regular(ports, demand_degree, seed, order=identifiers)
+    return fast if backend == "fast" else fast.to_network()

@@ -53,9 +53,14 @@ def _int64_view(values: array) -> np.ndarray:
 
 
 def _int64_array(values: np.ndarray) -> array:
-    """An ``array('q')`` holding the same integers as ``values``."""
+    """An ``array('q')`` holding the same integers as ``values``.
+
+    The byte-cast memoryview keeps this a single copy (``tobytes`` would
+    materialize an intermediate ``bytes`` object -- a second full copy on
+    every derived-view construction).
+    """
     out = array("q")
-    out.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+    out.frombytes(memoryview(np.ascontiguousarray(values, dtype=np.int64)).cast("B"))
     return out
 
 
@@ -454,6 +459,23 @@ class FastNetwork:
             )
         return cached
 
+    @property
+    def edge_keys_np(self) -> np.ndarray:
+        """``rows_np * num_nodes + indices_np``: directed-entry keys (cached).
+
+        The keys are globally ascending (rows ascend, and neighbor lists
+        ascend within a row), so presence tests and delta merges are plain
+        ``searchsorted`` work.  :meth:`with_edge_updates` hands the merged
+        key array straight to the derived view's cache, so a chain of
+        patches never recomputes it from ``rows_np``.
+        """
+        cached = self._np_cache.get("edge_keys")
+        if cached is None:
+            cached = self._np_cache["edge_keys"] = (
+                self.rows_np * self.num_nodes + self.indices_np
+            )
+        return cached
+
     # ------------------------------------------------------------------ #
     # CSR masking: derived sub-networks without Network rebuilds
     # ------------------------------------------------------------------ #
@@ -525,31 +547,183 @@ class FastNetwork:
 
     def _masked(self, keep: np.ndarray) -> "FastNetwork":
         """Build the derived view for a per-CSR-entry boolean mask."""
-        derived = FastNetwork(None)
-        derived.network = None
-        derived._order = self._order
-        derived._index_of = self._index_of
-        derived._order_provider = self._order_provider
-        derived.line_meta = self.line_meta
-        derived.unique_ids = self.unique_ids
-        derived.num_nodes = self.num_nodes
-
         new_indices = self.indices_np[keep]
         new_degrees = np.bincount(
             self.rows_np[keep], minlength=self.num_nodes
         ).astype(np.int64)
         new_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
         np.cumsum(new_degrees, out=new_indptr[1:])
+        return self._sibling(new_indptr, new_indices, new_degrees, self.line_meta)
 
-        derived.indices = _int64_array(new_indices)
-        derived.indptr = _int64_array(new_indptr)
-        derived.degrees = _int64_array(new_degrees)
-        derived.max_degree = int(new_degrees.max()) if self.num_nodes else 0
+    def _sibling(
+        self, indptr: np.ndarray, indices: np.ndarray, degrees: np.ndarray, line_meta
+    ) -> "FastNetwork":
+        """A view over the same node set (order, ids) with new CSR arrays."""
+        derived = FastNetwork(None)
+        derived.network = None
+        derived._order = self._order
+        derived._index_of = self._index_of
+        derived._order_provider = self._order_provider
+        derived.line_meta = line_meta
+        derived.unique_ids = self.unique_ids
+        derived.num_nodes = self.num_nodes
+        derived.indices = _int64_array(indices)
+        derived.indptr = _int64_array(indptr)
+        derived.degrees = _int64_array(degrees)
+        derived.max_degree = int(degrees.max()) if self.num_nodes else 0
         # Neighbor-identifier structures are materialized lazily (see the
         # neighbor_ids property): the vectorized engine never touches them.
         derived._neighbor_ids = None
         derived._neighbor_id_sets = None
         return derived
+
+    def with_edge_updates(
+        self,
+        add_u: np.ndarray,
+        add_v: np.ndarray,
+        remove_u: np.ndarray,
+        remove_v: np.ndarray,
+    ) -> "FastNetwork":
+        """A sibling view with the given edges removed and/or inserted.
+
+        This is the CSR patch step of the dynamic-recoloring subsystem
+        (:mod:`repro.dynamic`): removals and insertions arrive as raw
+        ``int64`` endpoint arrays, the surviving directed entries are
+        delta-merged with the (sorted) insertion keys, and the new CSR is
+        rebuilt from incrementally patched degrees with one cumsum -- never
+        a full symmetrize-lexsort over the whole edge set, so a small batch
+        costs ``O(|E| + |batch| log |batch|)`` straight array work (the
+        ``O(|E|)`` part is just masks/inserts on the key and index columns;
+        no per-entry key decode, no full bincount).
+
+        Semantics match :meth:`from_edge_array`: the node set is fixed,
+        duplicate insertions (and insertions of already-present edges) are
+        deduplicated silently, removals of absent edges are no-ops, and
+        self-loops are rejected.  Removals are applied before insertions, so
+        an edge listed in both ends up present.  The derived view shares
+        ``order`` / ``unique_ids`` with this one; any line-graph incidence
+        metadata is dropped (the edge set changed).
+        """
+        n = self.num_nodes
+        add_u = np.ascontiguousarray(add_u, dtype=np.int64).ravel()
+        add_v = np.ascontiguousarray(add_v, dtype=np.int64).ravel()
+        remove_u = np.ascontiguousarray(remove_u, dtype=np.int64).ravel()
+        remove_v = np.ascontiguousarray(remove_v, dtype=np.int64).ravel()
+        if add_u.shape != add_v.shape or remove_u.shape != remove_v.shape:
+            raise InvalidParameterError("endpoint arrays disagree in length")
+        for endpoints in (add_u, add_v, remove_u, remove_v):
+            if len(endpoints) and (endpoints.min() < 0 or endpoints.max() >= n):
+                raise InvalidParameterError(
+                    f"edge endpoints must be dense indices in 0..{n - 1}"
+                )
+        if (add_u == add_v).any():
+            offender = int(add_u[int(np.argmax(add_u == add_v))])
+            raise InvalidParameterError(
+                f"self-loop at node {self.order[offender]!r} is not allowed "
+                "in the LOCAL model"
+            )
+
+        # The key and index columns are patched in lockstep, and degrees are
+        # adjusted per affected row -- the only O(|E|) work is the masks and
+        # inserts themselves; rows are never decoded out of the keys.
+        keys = self.edge_keys_np
+        cols = self.indices_np
+        degrees = self.degrees_np.copy()
+        if len(remove_u):
+            drop = np.unique(
+                np.concatenate([remove_u * n + remove_v, remove_v * n + remove_u])
+            )
+            slots = np.searchsorted(keys, drop)
+            inside = slots < len(keys)
+            hit = slots[inside][keys[slots[inside]] == drop[inside]]
+            if len(hit):
+                keep = np.ones(len(keys), dtype=bool)
+                keep[hit] = False
+                np.subtract.at(degrees, keys[hit] // n, 1)
+                keys = keys[keep]
+                cols = cols[keep]
+        if len(add_u):
+            fresh = np.unique(
+                np.concatenate([add_u * n + add_v, add_v * n + add_u])
+            )
+            slots = np.searchsorted(keys, fresh)
+            present = np.zeros(len(fresh), dtype=bool)
+            inside = slots < len(keys)
+            present[inside] = keys[slots[inside]] == fresh[inside]
+            fresh = fresh[~present]
+            if len(fresh):
+                where = np.searchsorted(keys, fresh)
+                keys = np.insert(keys, where, fresh)
+                cols = np.insert(cols, where, fresh % n)
+                np.add.at(degrees, fresh // n, 1)
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        derived = self._sibling(indptr, cols, degrees, None)
+        derived._np_cache["edge_keys"] = keys
+        return derived
+
+    def induced(self, node_mask: np.ndarray) -> Tuple["FastNetwork", np.ndarray]:
+        """The *compact* induced subgraph on the unmasked nodes.
+
+        Unlike :meth:`filtered`, which keeps every node of the parent (so a
+        run over the view still pays ``O(n)`` per phase), the induced view
+        relabels the ``k`` selected nodes to dense indices ``0..k-1`` and
+        drops everything else -- this is what makes the dynamic-recoloring
+        repair (:mod:`repro.dynamic`) proportional to the conflict ball
+        instead of the whole graph.  Returns ``(subgraph, nodes)`` where
+        ``nodes`` holds the parent dense index of each sub-index.
+
+        The sub-view's unique ids are compacted to ``1..k`` (selection
+        preserves the parent's id order, so dense order remains unique-id
+        order and the standalone graph satisfies every ``id <= n`` palette
+        contract); the parent *identifiers* are deferred behind a lazy
+        provider, so nothing is interned unless an audit path asks.
+        """
+        mask = np.asarray(node_mask, dtype=bool)
+        if mask.shape != (self.num_nodes,):
+            raise InvalidParameterError(
+                f"node_mask must have one entry per node ({self.num_nodes}), "
+                f"got shape {mask.shape}"
+            )
+        nodes = np.flatnonzero(mask)
+        relabel = np.full(self.num_nodes, -1, dtype=np.int64)
+        relabel[nodes] = np.arange(len(nodes), dtype=np.int64)
+        # Gather only the selected nodes' adjacency slices (O(volume of the
+        # selection), not O(|E|)): the repair path of :mod:`repro.dynamic`
+        # calls this once per update batch, and the conflict ball is tiny
+        # next to the graph.  Row/neighbor order is preserved, so the CSR is
+        # identical to what a full-mask scan would build.
+        counts = self.degrees_np[nodes]
+        total = int(counts.sum())
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        entries = np.repeat(self.indptr_np[nodes], counts) + offsets
+        neighbors = self.indices_np[entries]
+        inside = mask[neighbors]
+        sub_rows = np.repeat(np.arange(len(nodes), dtype=np.int64), counts)[inside]
+        sub_cols = relabel[neighbors[inside]]
+        degrees = np.bincount(sub_rows, minlength=len(nodes)).astype(np.int64)
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+
+        parent = self
+        picked = nodes.tolist()
+
+        def identifiers() -> Tuple[Hashable, ...]:
+            order = parent.order
+            return tuple(order[i] for i in picked)
+
+        sub = FastNetwork._from_parts(
+            indptr,
+            sub_cols,
+            degrees,
+            len(nodes),
+            None,  # compacted to 1..k; parent id order is preserved
+            identifiers,
+        )
+        return sub, nodes
 
     def to_network(self) -> Network:
         """The :class:`Network` with exactly this adjacency (cached).

@@ -75,6 +75,43 @@ def _randomized(network, c, seed, engine):
     }
 
 
+def _dynamic_churn(network, c, seed, steps, batch, engine):
+    """Drive a seeded churn schedule through a :class:`DynamicColoring`.
+
+    The schedule is a deterministic function of the seed and the evolving
+    edge set only (never of the coloring), so every engine sees the identical
+    sequence of update batches; the golden freezes the final coloring, the
+    session palette bound and the merged run metrics.
+    """
+    import numpy as np
+
+    from repro.dynamic import DynamicColoring
+
+    session = DynamicColoring(network, c=c, engine=engine)
+    rng = np.random.default_rng(seed)
+    n = session.network.num_nodes
+    for _ in range(steps):
+        add_u = rng.integers(0, n, size=batch)
+        add_v = rng.integers(0, n, size=batch)
+        loopless = add_u != add_v
+        fast = session.network
+        forward = fast.rows_np < fast.indices_np
+        edge_u = fast.rows_np[forward]
+        edge_v = fast.indices_np[forward]
+        pick = rng.integers(0, len(edge_u), size=batch // 2)
+        session.apply_updates(
+            added=(add_u[loopless], add_v[loopless]),
+            removed=(edge_u[pick], edge_v[pick]),
+        )
+        session.verify()
+    return session.colors, {
+        "palette": session.palette_bound,
+        "steps": steps,
+        "final_edges": session.network.num_edges,
+        **_metrics(session.metrics),
+    }
+
+
 def _metrics(metrics) -> Dict[str, int]:
     return {
         "rounds": metrics.rounds,
@@ -137,6 +174,14 @@ FIXTURES: Dict[str, Any] = {
     "randomized_seed0_regular32x8": (
         lambda: _regular(32, 8, 21),
         lambda network, engine: _randomized(network, c=8, seed=0, engine=engine),
+    ),
+    # Dynamic recoloring under a seeded churn schedule: incremental patch +
+    # conflict-ball repair on every step, verified legal throughout.
+    "dynamic_churn_regular32x8": (
+        lambda: _regular(32, 8, 21),
+        lambda network, engine: _dynamic_churn(
+            network, c=8, seed=11, steps=6, batch=8, engine=engine
+        ),
     ),
 }
 

@@ -187,6 +187,140 @@ class TestBipartiteExactDegreeRegression:
         )
         assert network.num_edges == 25
 
+    @pytest.mark.parametrize(
+        "side,degree", [(8, 7), (12, 11), (16, 15), (16, 12), (24, 13)]
+    )
+    def test_dense_regime_fast_repair(self, side, degree):
+        """Degree near side: the fast sampler's complement/searchsorted path.
+
+        The pre-PR-6 repair kept a Python set of every accepted ``(i, j)``
+        pair; the rewrite detects and probes collisions through sorted
+        pair-key ``searchsorted`` passes and diverts ``2 * degree > side`` to
+        complement sampling.  Exact biregularity must survive the rewrite.
+        """
+        for seed in range(3):
+            network = graphs.random_bipartite_regular(
+                side, degree, seed=seed, backend="fast"
+            )
+            assert (np.asarray(network.degrees_np) == degree).all()
+            materialized = network.to_network()  # validates simple + symmetric
+            for u, v in materialized.edges():
+                assert u[0] != v[0]
+            again = graphs.random_bipartite_regular(
+                side, degree, seed=seed, backend="fast"
+            )
+            assert list(again.indices) == list(network.indices)
+
+
+class TestHeavyTailedFamilies:
+    """The PR 6 workload families: array-native fast samplers, exact invariants."""
+
+    @QUICK_PROPERTY
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        attachment=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_barabasi_albert_invariants(self, n, attachment, seed):
+        if attachment >= n:
+            with pytest.raises(InvalidParameterError):
+                graphs.barabasi_albert(n, attachment, seed=seed, backend="fast")
+            return
+        network = graphs.barabasi_albert(n, attachment, seed=seed, backend="fast")
+        assert network.network is None
+        assert network.num_edges == attachment * (n - attachment)
+        degrees = np.asarray(network.degrees_np)
+        # Every arriving vertex attaches to `attachment` distinct targets.
+        assert (degrees[attachment:] >= attachment).all()
+        network.to_network()  # validates simplicity and symmetry
+        again = graphs.barabasi_albert(n, attachment, seed=seed, backend="fast")
+        assert list(again.indices) == list(network.indices)
+
+    def test_barabasi_albert_legacy_backend_matches_networkx_counts(self):
+        legacy = graphs.barabasi_albert(40, 3, seed=1, backend="legacy")
+        assert legacy.num_edges == 3 * 37
+        assert legacy.num_nodes == 40
+
+    @QUICK_PROPERTY
+    @given(
+        n=st.integers(min_value=4, max_value=120),
+        exponent=st.floats(min_value=1.5, max_value=3.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_planted_sequence_is_realized_exactly(self, n, exponent, seed):
+        degrees = graphs.heavy_tailed_degree_sequence(
+            n, exponent=exponent, seed=seed
+        )
+        assert int(degrees.sum()) % 2 == 0
+        network = graphs.planted_degree_sequence(degrees, seed=seed, backend="fast")
+        assert network.network is None
+        assert (np.asarray(network.degrees_np) == degrees).all()
+        network.to_network()  # validates simplicity and symmetry
+        again = graphs.planted_degree_sequence(degrees, seed=seed, backend="fast")
+        assert list(again.indices) == list(network.indices)
+
+    def test_planted_sequence_legacy_shares_the_fast_stream(self):
+        degrees = graphs.heavy_tailed_degree_sequence(50, seed=3)
+        fast = graphs.planted_degree_sequence(degrees, seed=1, backend="fast")
+        legacy = graphs.planted_degree_sequence(degrees, seed=1, backend="legacy")
+        assert_bit_identical(fast, legacy)
+
+    def test_planted_sequence_validation(self):
+        with pytest.raises(InvalidParameterError, match="even"):
+            graphs.planted_degree_sequence([1, 1, 1], backend="fast")
+        with pytest.raises(InvalidParameterError, match="degree"):
+            graphs.planted_degree_sequence([5, 1, 1, 1, 0], backend="fast")
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            graphs.planted_degree_sequence([], backend="fast")
+
+    @QUICK_PROPERTY
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        radius=st.floats(min_value=0.01, max_value=1.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_random_geometric_matches_brute_force(self, n, radius, seed):
+        network = graphs.random_geometric(n, radius, seed=seed, backend="fast")
+        assert network.network is None
+        network.to_network()  # validates simplicity and symmetry
+        # The documented point stream: the generator's first draws.
+        points = np.random.default_rng(seed).random((n, 2))
+        gaps = points[:, None, :] - points[None, :, :]
+        within = (gaps**2).sum(axis=-1) <= radius * radius
+        expected = int(within.sum() - n) // 2
+        assert network.num_edges == expected
+        again = graphs.random_geometric(n, radius, seed=seed, backend="fast")
+        assert list(again.indices) == list(network.indices)
+
+    def test_random_geometric_legacy_backend(self):
+        legacy = graphs.random_geometric(30, 0.3, seed=2, backend="legacy")
+        assert legacy.num_nodes == 30
+        with pytest.raises(InvalidParameterError, match="radius"):
+            graphs.random_geometric(10, 0.0)
+
+    @QUICK_PROPERTY
+    @given(
+        ports=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31),
+        data=st.data(),
+    )
+    def test_bipartite_switch_biregular(self, ports, seed, data):
+        demand = data.draw(st.integers(min_value=0, max_value=ports))
+        network = graphs.bipartite_switch(ports, demand, seed=seed, backend="fast")
+        assert network.network is None
+        assert (np.asarray(network.degrees_np) == demand).all()
+        materialized = network.to_network()
+        for u, v in materialized.edges():
+            assert {u[0], v[0]} == {"in", "out"}
+        again = graphs.bipartite_switch(ports, demand, seed=seed, backend="fast")
+        assert list(again.indices) == list(network.indices)
+
+    def test_bipartite_switch_legacy_shares_the_fast_stream(self):
+        fast = graphs.bipartite_switch(12, 5, seed=7, backend="fast")
+        legacy = graphs.bipartite_switch(12, 5, seed=7, backend="legacy")
+        assert_bit_identical(fast, legacy)
+        assert legacy.nodes()[0] == ("in", 0)
+
 
 class TestNetworkFreeEntryPath:
     """The golden ``from_edge_array`` scenario: arrays in, arrays verified."""
