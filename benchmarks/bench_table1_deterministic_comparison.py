@@ -18,7 +18,14 @@ winning.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 from common_bench import (
+    QUICK,
     TABLE_DEGREES,
     bench_runner,
     print_section,
@@ -27,6 +34,7 @@ from common_bench import (
     table_edge_scenarios,
 )
 
+from repro import graphs
 from repro.analysis import (
     Series,
     crossover_point,
@@ -35,14 +43,73 @@ from repro.analysis import (
     rounds_new_superlinear,
     rounds_panconesi_rizzi,
 )
+from repro.baselines import panconesi_rizzi_edge_coloring
 from repro.core import color_edges
 
 #: (label, experiment algorithm, params) for the three Table 1 columns.
+#: Since PR 7 the whole sweep (new algorithms AND the Panconesi–Rizzi
+#: baseline) runs on the vectorized engine.
 ALGORITHMS = (
     ("new-fast", "edge_coloring", {"quality": "superlinear", "route": "direct"}),
     ("new-linear", "edge_coloring", {"quality": "linear", "route": "direct"}),
     ("baseline-pr", "panconesi_rizzi", {}),
 )
+
+#: (n, degree) of the engine-ratio gate row committed with the record.
+GATE_SIZE = (256, 6) if QUICK else (1024, 8)
+
+RESULTS_FILE = "table1_quick.json" if QUICK else "table1.json"
+
+
+def _measure_gate() -> dict:
+    """Batched-vs-vectorized ratio for the PR baseline, identical outputs."""
+    n, degree = GATE_SIZE
+    network = graphs.random_regular(n, degree, seed=5, backend="fast")
+    started = time.perf_counter()
+    batched = panconesi_rizzi_edge_coloring(network, engine="batched")
+    batched_seconds = time.perf_counter() - started
+    vectorized_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        vectorized = panconesi_rizzi_edge_coloring(network, engine="vectorized")
+        vectorized_seconds = min(vectorized_seconds, time.perf_counter() - started)
+    assert batched.edge_colors == vectorized.edge_colors
+    assert vectorized.metrics.fallback_phase_names == []
+    return {
+        "n": n,
+        "degree": degree,
+        "seconds": {
+            "pr_batched": round(batched_seconds, 4),
+            "pr_vectorized": round(vectorized_seconds, 4),
+        },
+        "speedup_pr_vectorized_over_batched": round(
+            batched_seconds / max(vectorized_seconds, 1e-9), 2
+        ),
+        "identical_outputs": True,
+    }
+
+
+def _record(rows, gate_row, headers) -> None:
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    record = {
+        "workload": {
+            "summary": "Table 1: deterministic edge coloring, previous vs new "
+            "(vectorized engine)",
+            "degrees": list(TABLE_DEGREES),
+        },
+        "quick": QUICK,
+        "sizes": [gate_row],
+        "table": {
+            "headers": headers,
+            "rows": rows,
+        },
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    out = results_dir / RESULTS_FILE
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nRecorded results to {out}")
 
 
 def _sweep():
@@ -85,27 +152,25 @@ def _sweep():
     return rows, new_superlinear, new_linear, baseline_pr
 
 
+HEADERS = [
+    "Delta",
+    "PR colors",
+    "PR rounds",
+    "PR analytic",
+    "new-lin colors",
+    "new-lin rounds",
+    "new-fast colors",
+    "new-fast rounds",
+    "new analytic",
+    "[5] analytic",
+]
+
+
 def test_table1_deterministic_comparison(benchmark):
     rows, new_superlinear, new_linear, baseline_pr = _sweep()
 
     print_section("Table 1 -- deterministic edge coloring: previous vs. new (measured + analytic)")
-    print(
-        format_table(
-            [
-                "Delta",
-                "PR colors",
-                "PR rounds",
-                "PR analytic",
-                "new-lin colors",
-                "new-lin rounds",
-                "new-fast colors",
-                "new-fast rounds",
-                "new analytic",
-                "[5] analytic",
-            ],
-            rows,
-        )
-    )
+    print(format_table(HEADERS, rows))
     crossover = crossover_point(new_superlinear, baseline_pr)
     print(
         f"\nCrossover: the new O(Delta^{{1+eps}})-coloring needs fewer rounds than the "
@@ -118,11 +183,22 @@ def test_table1_deterministic_comparison(benchmark):
     # moderate-to-large Delta (while using more colors than 2 Delta - 1).
     assert new_superlinear.ys[-1] < baseline_pr.ys[-1]
 
-    # Time one representative mid-sweep instance (on the batched engine).
+    gate_row = _measure_gate()
+    print(
+        f"\nEngine gate at n={gate_row['n']}, Delta={gate_row['degree']}: "
+        f"vectorized PR baseline is "
+        f"{gate_row['speedup_pr_vectorized_over_batched']}x the batched path "
+        "(identical colorings)."
+    )
+
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        _record(rows, gate_row, HEADERS)
+
+    # Time one representative mid-sweep instance (on the vectorized engine).
     network = regular_workload(TABLE_DEGREES[len(TABLE_DEGREES) // 2])
     run_once(
         benchmark,
         lambda: color_edges(
-            network, quality="superlinear", route="direct", engine="batched"
+            network, quality="superlinear", route="direct", engine="vectorized"
         ),
     )

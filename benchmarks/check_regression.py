@@ -46,6 +46,10 @@ SPEEDUP_KEYS = (
     "speedup_fast_setup_over_legacy",
     "speedup_fast_line_setup_over_legacy",
     "speedup_incremental_over_recompute",
+    # PR 7: the vectorized baseline kernels behind the portfolio facade.
+    "speedup_luby_vectorized_over_legacy",
+    "speedup_pr_vectorized_over_batched",
+    "speedup_luby_edge_vectorized_over_batched",
 )
 
 #: Row sections of the results record the gate compares.  "sizes" is the

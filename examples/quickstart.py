@@ -21,7 +21,20 @@ def main() -> None:
     network = graphs.random_regular(n=48, degree=12, seed=7)
     print(f"graph: n={network.num_nodes}, |E|={network.num_edges}, Delta={network.max_degree}")
 
-    # The paper's fast deterministic edge coloring (direct route: small messages).
+    # `repro.color_edges` is the auto-tuning portfolio facade: it picks the
+    # algorithm, execution engine, quality preset, and route for this
+    # instance from a measured cost model, and records every choice.
+    auto = color_edges(network)
+    decision = auto.decision
+    print("\nportfolio decision for this instance:")
+    print(
+        f"  algorithm={decision.algorithm}, engine={decision.engine}, "
+        f"quality={decision.quality}, route={decision.route}"
+    )
+    print(f"  engine reason      : {decision.reasons['engine']}")
+
+    # The paper's fast tradeoff point, pinned explicitly.  Pinned knobs are
+    # passed through untouched and show up in `result.decision.overrides`.
     result = color_edges(network, quality="superlinear", route="direct")
     assert_legal_edge_coloring(network, result.edge_colors)
     print("\nnew algorithm (Theorem 5.5(2)):")

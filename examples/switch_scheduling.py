@@ -65,7 +65,9 @@ def main() -> None:
     print(f"optimal schedule length (Konig): {network.max_degree} slots\n")
 
     # Distributed schedule: O(Delta) colors in few rounds, computed by the
-    # ports themselves with O(log n)-bit messages.
+    # ports themselves with O(log n)-bit messages.  The root `color_edges`
+    # is the portfolio facade -- we pin the paper's linear preset and direct
+    # route and let it choose the execution engine for this instance size.
     distributed = color_edges(network, quality="linear", route="direct")
     assert_legal_edge_coloring(network, distributed.color_column)  # masked-CSR check
     slots = schedule_from_coloring(distributed.edge_colors)
@@ -73,6 +75,10 @@ def main() -> None:
     print("distributed schedule (paper, Theorem 5.5(1)):")
     print(f"  slots (colors)      : {distributed.colors_used}")
     print(f"  rounds to compute   : {distributed.metrics.rounds}")
+    print(
+        f"  engine (portfolio)  : {distributed.decision.engine}; pinned: "
+        f"{', '.join(distributed.decision.overrides)}"
+    )
     print(f"  largest slot size   : {max(len(edges) for edges in slots.values())} transfers")
 
     # Centralized greedy oracle for comparison.

@@ -16,6 +16,13 @@ Quickstart::
     result = color_edges(network, quality="superlinear")
     verification.assert_legal_edge_coloring(network, result.edge_colors)
     print(result.colors_used, "colors in", result.metrics.rounds, "rounds")
+
+``color_edges`` / ``color_graph`` at the package root are the auto-tuning
+portfolio façade (:mod:`repro.portfolio`): they pick algorithm, engine,
+quality preset, and route per instance from a measured cost model, and
+every choice has an override kwarg.  The preset-explicit core entry points
+stay available as :func:`repro.core.color_edges` /
+:func:`repro.core.color_vertices`.
 """
 
 from repro import (
@@ -26,18 +33,25 @@ from repro import (
     experiments,
     graphs,
     local_model,
+    portfolio,
     primitives,
     verification,
 )
 from repro.core import (
     EdgeColoringResult,
     LegalColoringResult,
-    color_edges,
     color_vertices,
     randomized_color_vertices,
     run_defective_color,
     run_legal_coloring,
     tradeoff_color_vertices,
+)
+from repro.portfolio import (
+    CostModel,
+    PortfolioDecision,
+    PortfolioResult,
+    color_edges,
+    color_graph,
 )
 from repro.dynamic import DynamicColoring, UpdateReport
 from repro.exceptions import (
@@ -62,11 +76,12 @@ from repro.local_model import (
     use_engine,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchedScheduler",
     "ColoringError",
+    "CostModel",
     "DynamicColoring",
     "EdgeColoringResult",
     "FastNetwork",
@@ -75,6 +90,8 @@ __all__ = [
     "InvalidParameterError",
     "LegalColoringResult",
     "Network",
+    "PortfolioDecision",
+    "PortfolioResult",
     "ReproError",
     "RoundLimitExceeded",
     "RunMetrics",
@@ -87,6 +104,7 @@ __all__ = [
     "available_engines",
     "baselines",
     "color_edges",
+    "color_graph",
     "color_vertices",
     "core",
     "dynamic",
@@ -94,6 +112,7 @@ __all__ = [
     "graphs",
     "local_model",
     "make_scheduler",
+    "portfolio",
     "primitives",
     "randomized_color_vertices",
     "run_defective_color",

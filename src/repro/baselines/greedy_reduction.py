@@ -11,32 +11,24 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.local_model.network import Network
-from repro.graphs.line_graph import build_line_graph_network
+from repro.baselines._line_pipeline import run_line_graph_delta_plus_one
 from repro.core.edge_coloring import EdgeColoringResult
-from repro.local_model.line_graph_sim import apply_lemma_5_2_accounting
-from repro.local_model.engine import make_scheduler
-from repro.primitives.color_reduction import delta_plus_one_pipeline
+from repro.verification.coloring import NetworkLike
 
 
 def greedy_reduction_edge_coloring(
-    network: Network, engine: Optional[str] = None
+    network: NetworkLike, engine: Optional[str] = None
 ) -> EdgeColoringResult:
-    """A legal ``(2 Delta - 1)``-edge-coloring via one-class-per-round reduction."""
-    line_network, _ = build_line_graph_network(network)
-    delta_line = max(1, line_network.max_degree)
-    pipeline, palette = delta_plus_one_pipeline(
-        n=line_network.num_nodes,
-        degree_bound=delta_line,
+    """A legal ``(2 Delta - 1)``-edge-coloring via one-class-per-round reduction.
+
+    Accepts ``Network | FastNetwork``; ``Delta(L(G))`` comes from the CSR
+    degree column of the array-built line graph, and the result carries
+    ``color_column`` over the canonical edges in pair-key order.
+    """
+    return run_line_graph_delta_plus_one(
+        network,
         output_key="_greedy_color",
         use_kuhn_wattenhofer=False,
-    )
-    result = make_scheduler(line_network, engine=engine).run(pipeline)
-    metrics = apply_lemma_5_2_accounting(network, result.metrics)
-    return EdgeColoringResult(
-        edge_colors=result.extract("_greedy_color"),
-        palette=palette,
-        metrics=metrics,
         route="baseline-greedy-reduction",
-        line_graph_max_degree=line_network.max_degree,
+        engine=engine,
     )

@@ -9,27 +9,42 @@ in ``O(log n)`` rounds with high probability; it stands in for the randomized
 ([29], [18]) the paper compares against in Table 2.
 
 The randomness is derived from ``(seed, unique_id, round)``, so runs are
-reproducible and still independent across vertices.
+reproducible and still independent across vertices.  The phase carries a
+``vector_run`` kernel (engine ``"vectorized"``): one taken-color bitmask per
+node, conflict detection as CSR scatter ops, and the per-node draws batched
+through :class:`~repro.local_model.rng_kernel.StringSeededDraws` -- the
+bit-exact replication of ``random.Random(key).choice``.  The three engines
+produce identical colorings, states and metrics (the equivalence suite and
+golden fixtures lock this down).
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from bisect import bisect_left
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.local_model.algorithm import BroadcastPhase, LocalView
 from repro.local_model.engine import make_scheduler
-from repro.local_model.network import Network
-from repro.graphs.line_graph import build_line_graph_network
+from repro.local_model.fast_network import fast_view
+from repro.verification.coloring import NetworkLike
+from repro.local_model.line_csr import build_line_graph_fast
+from repro.local_model.rng_kernel import StringSeededDraws
+from repro.local_model.state_table import StateTable
 from repro.core.edge_coloring import EdgeColoringResult
+from repro.core.legal_coloring import LegalColoringResult
 from repro.local_model.line_graph_sim import apply_lemma_5_2_accounting
 from repro.local_model.metrics import RunMetrics
 
 
 class LubyRandomColoringPhase(BroadcastPhase):
     """One phase implementing the trial-and-keep randomized coloring."""
+
+    supports_vectorized = True
 
     def __init__(
         self, palette: int, seed: int = 0, output_key: str = "luby_color"
@@ -69,6 +84,11 @@ class LubyRandomColoringPhase(BroadcastPhase):
     ) -> bool:
         if state["_luby_final"] is not None:
             state[self.output_key] = state["_luby_final"]
+            # Drop the per-round scratch state at halt: on big palettes the
+            # taken/available structures dominate the final table otherwise.
+            state.pop("_luby_taken", None)
+            state.pop("_luby_available", None)
+            state.pop("_luby_candidate", None)
             return True
 
         candidate = state.get("_luby_candidate")
@@ -93,38 +113,178 @@ class LubyRandomColoringPhase(BroadcastPhase):
         # O(log n) w.h.p.; the generous bound below keeps the safety margin.
         return 64 + 16 * max(1, n).bit_length()
 
+    # ------------------------------------------------------------------ #
+    # Vectorized kernel
+    # ------------------------------------------------------------------ #
+
+    def vector_run(self, ctx) -> None:
+        """The whole trial-and-keep loop as array ops over the CSR.
+
+        Mirrors the scalar schedule exactly: a node that keeps its candidate
+        in round ``r`` announces ``{"final": c}`` in round ``r + 1`` and
+        halts in that round's receive *without* reading its inbox -- so its
+        taken set freezes at the end of round ``r``, which the kernel
+        realizes by only ever updating rows of still-undecided nodes.  The
+        draws delegate to :class:`StringSeededDraws`, whose outputs equal
+        ``random.Random(f"{seed}:{uid}:{round}").choice(available)`` with
+        ``available`` the ascending list of untaken palette colors.
+        """
+        fast = ctx.fast
+        n = fast.num_nodes
+        palette = self.palette
+        degrees = fast.degrees_np
+        draws = StringSeededDraws(self.seed, ctx.unique_ids())
+
+        taken = np.zeros((n, palette), dtype=bool)
+        final = np.zeros(n, dtype=np.int64)
+        candidate = np.zeros(n, dtype=np.int64)  # 0 encodes "no candidate"
+        undecided = np.arange(n, dtype=np.int64)
+        undecided_mask = np.ones(n, dtype=bool)
+        announce = np.zeros(0, dtype=np.int64)
+
+        messages = 0
+        round_index = 0
+        while len(undecided) or len(announce):
+            round_index += 1
+            ctx.check_round_budget(round_index)
+            # Every live node (undecided + announcing) broadcasts one
+            # two-word payload to each neighbor this round.
+            messages += int(degrees[undecided].sum()) + int(degrees[announce].sum())
+
+            # --- broadcast: undecided nodes draw from their free colors --- #
+            free = ~taken[undecided]
+            free_counts = free.sum(axis=1)
+            candidate[undecided] = 0
+            drawing = free_counts > 0
+            lanes = undecided[drawing]
+            if len(lanes):
+                picks = draws.draw(lanes, free_counts[drawing], round_index)
+                free_rows = free[drawing]
+                ranks = np.cumsum(free_rows, axis=1)
+                hits = free_rows & (ranks == (picks + 1)[:, None])
+                candidate[lanes] = np.argmax(hits, axis=1) + 1
+
+            # --- receive: neighbor finals first (undecided rows only) --- #
+            if len(announce):
+                local, neighbors = ctx.gather_neighbors(announce)
+                hit = undecided_mask[neighbors]
+                taken[neighbors[hit], final[announce[local[hit]]] - 1] = True
+
+            # --- conflicts: equal candidates among competing neighbors --- #
+            local, neighbors = ctx.gather_neighbors(undecided)
+            mine = candidate[undecided[local]]
+            clash = (mine != 0) & (candidate[neighbors] == mine)
+            conflict = np.zeros(len(undecided), dtype=bool)
+            conflict[local[clash]] = True
+
+            mine = candidate[undecided]
+            keep = (mine != 0) & ~conflict
+            keep &= ~taken[undecided, np.maximum(mine - 1, 0)]
+            deciders = undecided[keep]
+            final[deciders] = mine[keep]
+            # Decided nodes announce {"final": c} next round: their payload
+            # has no "candidate" entry, so they stop clashing immediately.
+            candidate[deciders] = 0
+            undecided_mask[deciders] = False
+            announce = deciders
+            undecided = undecided[~keep]
+
+        ctx.charge(
+            round_index, messages, 2 * messages, 2 if messages else 0
+        )
+
+        # --- final per-node states, bit-identical to the scalar engines --- #
+        # The scalar receive pops the taken/available/candidate scratch keys
+        # at halt, so the terminal state is exactly these two columns.
+        ctx.write_column(self.output_key, final)
+        ctx.write_column("_luby_final", final)
+
+
+def _run_phase(
+    network: NetworkLike, phase: LubyRandomColoringPhase, engine: Optional[str]
+) -> Tuple[np.ndarray, RunMetrics, Any]:
+    """Run the phase table-native and return (color column, metrics, fast)."""
+    fast = fast_view(network)
+    scheduler = make_scheduler(fast, engine=engine)
+    table, metrics = scheduler.run_table(phase, StateTable(fast.num_nodes))
+    if fast.num_nodes == 0:
+        return np.zeros(0, dtype=np.int64), metrics, fast
+    return table.get_ints(phase.output_key), metrics, fast
+
 
 def luby_vertex_coloring(
-    network: Network,
+    network: NetworkLike,
+    palette: int | None = None,
+    seed: int = 0,
+    engine: Optional[str] = None,
+) -> LegalColoringResult:
+    """Randomized ``(Delta + 1)``-vertex-coloring of ``network``.
+
+    Accepts a :class:`~repro.local_model.network.Network` or a
+    :class:`~repro.local_model.fast_network.FastNetwork` and returns a
+    :class:`~repro.core.legal_coloring.LegalColoringResult` -- the same
+    result shape as :func:`repro.core.legal_coloring.color_vertices`, with
+    ``color_column`` in dense node order.  The default palette is
+    ``Delta + 1`` with ``Delta`` read off the CSR degree column (no Python
+    pass over the adjacency).
+    """
+    fast = fast_view(network)
+    if palette is None:
+        palette = fast.max_degree + 1
+    phase = LubyRandomColoringPhase(palette=palette, seed=seed)
+    column, metrics, fast = _run_phase(fast, phase, engine)
+    return LegalColoringResult(
+        colors=dict(zip(fast.order, column.tolist())),
+        palette=palette,
+        metrics=metrics,
+        color_column=column,
+    )
+
+
+def luby_vertex_coloring_dict(
+    network: NetworkLike,
     palette: int | None = None,
     seed: int = 0,
     engine: Optional[str] = None,
 ) -> Tuple[Dict[Hashable, int], RunMetrics]:
-    """Randomized ``(Delta + 1)``-vertex-coloring; returns (colors, metrics)."""
-    if palette is None:
-        palette = network.max_degree + 1
-    phase = LubyRandomColoringPhase(palette=palette, seed=seed)
-    result = make_scheduler(network, engine=engine).run(phase)
-    return result.extract(phase.output_key), result.metrics
+    """Deprecated pre-1.5 shape of :func:`luby_vertex_coloring`.
+
+    Returns the old ``(colors, metrics)`` tuple; use the result object's
+    ``.colors`` / ``.metrics`` instead.
+    """
+    warnings.warn(
+        "luby_vertex_coloring_dict is deprecated; luby_vertex_coloring now "
+        "returns a LegalColoringResult with .colors and .metrics",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    result = luby_vertex_coloring(network, palette=palette, seed=seed, engine=engine)
+    return result.colors, result.metrics
 
 
 def luby_edge_coloring(
-    network: Network,
+    network: NetworkLike,
     palette: int | None = None,
     seed: int = 0,
     engine: Optional[str] = None,
 ) -> EdgeColoringResult:
-    """Randomized ``(2 Delta - 1)``-edge-coloring via the line graph."""
-    line_network, _ = build_line_graph_network(network)
+    """Randomized ``(2 Delta - 1)``-edge-coloring via the line graph.
+
+    Accepts ``Network | FastNetwork``; the line graph is derived CSR-native
+    (:func:`~repro.local_model.line_csr.build_line_graph_fast`) and the
+    result carries ``color_column`` in the line graph's dense edge order.
+    """
+    line_fast = build_line_graph_fast(network)
     if palette is None:
-        palette = max(1, line_network.max_degree + 1)
+        palette = max(1, line_fast.max_degree + 1)
     phase = LubyRandomColoringPhase(palette=palette, seed=seed)
-    result = make_scheduler(line_network, engine=engine).run(phase)
-    metrics = apply_lemma_5_2_accounting(network, result.metrics)
+    column, raw_metrics, line_fast = _run_phase(line_fast, phase, engine)
+    metrics = apply_lemma_5_2_accounting(network, raw_metrics)
     return EdgeColoringResult(
-        edge_colors=result.extract(phase.output_key),
+        edge_colors=dict(zip(line_fast.order, column.tolist())),
         palette=palette,
         metrics=metrics,
         route="baseline-luby",
-        line_graph_max_degree=line_network.max_degree,
+        line_graph_max_degree=line_fast.max_degree,
+        color_column=column,
     )

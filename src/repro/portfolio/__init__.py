@@ -1,0 +1,32 @@
+"""Auto-tuning portfolio: one entry point that picks the right configuration.
+
+:func:`color_graph` / :func:`color_edges` select algorithm, execution
+engine, Theorem 4.8 quality preset, and edge-coloring route per instance
+from the measured :class:`CostModel` (calibrated offline by
+``benchmarks/bench_portfolio.py``, committed as
+``benchmarks/results/portfolio_model.json``), run the chosen
+configuration, and return one normalized :class:`PortfolioResult` carrying
+the :class:`PortfolioDecision` taken.  Every decision has a kwarg escape
+hatch — see :mod:`repro.portfolio.facade`.
+"""
+
+from repro.portfolio.cost_model import DEFAULT_MODEL, QUALITY_ORDER, CostModel
+from repro.portfolio.facade import (
+    EDGE_ALGORITHMS,
+    VERTEX_ALGORITHMS,
+    color_edges,
+    color_graph,
+)
+from repro.portfolio.result import PortfolioDecision, PortfolioResult
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_MODEL",
+    "EDGE_ALGORITHMS",
+    "PortfolioDecision",
+    "PortfolioResult",
+    "QUALITY_ORDER",
+    "VERTEX_ALGORITHMS",
+    "color_edges",
+    "color_graph",
+]

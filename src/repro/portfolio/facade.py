@@ -1,0 +1,334 @@
+"""`color_graph` / `color_edges`: the auto-tuning front door of the repo.
+
+Both entry points take a graph (legacy :class:`Network` or CSR
+:class:`FastNetwork`), consult the measured :class:`CostModel`, and pick
+
+* the **algorithm** — the paper's Legal-Color pipeline by default for
+  edges (and for vertices when a neighborhood-independence bound ``c`` is
+  supplied), the Luby randomized baseline for general vertex coloring;
+* the **engine** — ``"batched"`` versus the ``"vectorized"`` numpy kernels,
+  by predicted wall seconds for the instance's CSR size;
+* the **quality preset** — the Theorem 4.8 palette/rounds tradeoff point,
+  by walking the presets from best palette to fastest until the predicted
+  round count fits the caller's ``budget``;
+* the **route** — direct (Theorem 5.5) versus Lemma 5.2 simulation for
+  edge coloring, by predicted cost.
+
+Every decision can be overridden by passing the corresponding kwarg
+(``algorithm=``, ``engine=``, ``quality=``, ``route=``); overridden knobs
+are passed through untouched and recorded in ``result.decision.overrides``.
+The returned :class:`PortfolioResult` is one normalized shape — color
+mapping + dense ``color_column`` + palette bound + :class:`RunMetrics` +
+the :class:`PortfolioDecision` taken — regardless of which algorithm ran.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.greedy_reduction import greedy_reduction_edge_coloring
+from repro.baselines.luby_random import luby_edge_coloring, luby_vertex_coloring
+from repro.baselines.panconesi_rizzi import panconesi_rizzi_edge_coloring
+from repro.core.edge_coloring import color_edges as core_color_edges
+from repro.core.legal_coloring import color_vertices as core_color_vertices
+from repro.exceptions import InvalidParameterError
+from repro.local_model.fast_network import fast_view
+from repro.portfolio.cost_model import CostModel
+from repro.portfolio.result import PortfolioDecision, PortfolioResult
+from repro.verification.coloring import NetworkLike
+
+VERTEX_ALGORITHMS = ("legal-color", "luby")
+EDGE_ALGORITHMS = ("legal-color", "panconesi-rizzi", "greedy-reduction", "luby")
+
+
+def _csr_entries(fast) -> int:
+    """Directed adjacency entries plus nodes: the per-round work unit."""
+    return int(fast.degrees_np.sum()) + fast.num_nodes
+
+
+def _line_csr_entries(fast) -> int:
+    """The CSR size of ``L(G)``, straight from ``G``'s degree column.
+
+    An edge ``{u, v}`` has ``d(u) + d(v) - 2`` line-graph neighbors, so the
+    directed entries of ``L(G)`` total ``sum_v d(v)^2 - 2|E|``; adding the
+    ``|E|`` line-graph nodes gives the work unit without building ``L(G)``.
+    """
+    degrees = fast.degrees_np.astype(np.int64)
+    num_edges = int(degrees.sum()) // 2
+    return int((degrees * degrees).sum()) - 2 * num_edges + num_edges
+
+
+def _decide_engine(model: CostModel, entries: int, override: Optional[str]):
+    predicted = {
+        "engine_batched_seconds": model.predict_engine_seconds("batched", entries),
+        "engine_vectorized_seconds": model.predict_engine_seconds("vectorized", entries),
+    }
+    if override is not None:
+        return override, "engine pinned by caller", predicted
+    engine = model.choose_engine(entries)
+    reason = (
+        f"predicted {predicted['engine_vectorized_seconds']:.4f}s vectorized vs "
+        f"{predicted['engine_batched_seconds']:.4f}s batched on {entries} CSR entries"
+    )
+    return engine, reason, predicted
+
+
+def _decide_quality(
+    model: CostModel,
+    delta: int,
+    n: int,
+    budget: Optional[float],
+    epsilon: float,
+    override: Optional[str],
+):
+    if override is not None:
+        return override, "quality pinned by caller", {}
+    quality = model.choose_quality(delta, n, budget, epsilon=epsilon)
+    predicted = {
+        "rounds_" + name: model.predict_rounds(name, delta, n, epsilon=epsilon)
+        for name in ("linear", "subpolynomial", "superlinear")
+    }
+    if budget is None:
+        reason = "no round budget: best palette guarantee (linear)"
+    elif predicted["rounds_" + quality] <= budget:
+        reason = (
+            f"best palette with predicted rounds "
+            f"{predicted['rounds_' + quality]:.1f} <= budget {budget:g}"
+        )
+    else:
+        reason = f"budget {budget:g} infeasible: fastest preset chosen"
+    return quality, reason, predicted
+
+
+def color_graph(
+    graph: NetworkLike,
+    *,
+    c: Optional[int] = None,
+    quality: Optional[str] = None,
+    budget: Optional[float] = None,
+    algorithm: Optional[str] = None,
+    engine: Optional[str] = None,
+    epsilon: float = 0.75,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> PortfolioResult:
+    """Vertex-color ``graph``, choosing algorithm/engine/preset automatically.
+
+    Parameters
+    ----------
+    graph:
+        ``Network | FastNetwork``.
+    c:
+        Neighborhood-independence bound, when known.  Supplying it unlocks
+        the paper's deterministic Legal-Color pipeline; without it the
+        portfolio falls back to the Luby randomized ``Delta + 1`` coloring.
+    quality:
+        Pin a Theorem 4.8 preset (``"linear"`` / ``"superlinear"`` /
+        ``"subpolynomial"``) instead of letting the budget search choose.
+        Only meaningful for the Legal-Color algorithm.
+    budget:
+        Maximum acceptable number of communication rounds.  The portfolio
+        keeps the best palette guarantee whose predicted rounds fit.
+    algorithm:
+        ``"legal-color"`` or ``"luby"`` to bypass the algorithm choice.
+    engine:
+        Execution engine override (``"reference"`` / ``"batched"`` /
+        ``"vectorized"``).
+    epsilon:
+        Exponent knob forwarded to the Legal-Color presets.
+    seed:
+        Random seed for the Luby baseline.
+    cost_model:
+        A :class:`CostModel` to decide with (default: the committed
+        calibration record).
+    """
+    model = cost_model if cost_model is not None else CostModel.default()
+    fast = fast_view(graph)
+    overrides = tuple(
+        name
+        for name, value in (
+            ("algorithm", algorithm),
+            ("engine", engine),
+            ("quality", quality),
+        )
+        if value is not None
+    )
+
+    reasons = {}
+    predicted = {}
+    if algorithm is None:
+        algorithm = "legal-color" if c is not None else "luby"
+        reasons["algorithm"] = (
+            "independence bound supplied: deterministic Legal-Color"
+            if c is not None
+            else "no independence bound: Luby randomized Delta+1"
+        )
+    else:
+        reasons["algorithm"] = "algorithm pinned by caller"
+    if algorithm not in VERTEX_ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown vertex algorithm {algorithm!r}; expected one of {VERTEX_ALGORITHMS}"
+        )
+    if algorithm == "legal-color" and c is None:
+        raise InvalidParameterError(
+            "algorithm 'legal-color' needs the neighborhood-independence bound c"
+        )
+    if algorithm == "luby" and quality is not None:
+        raise InvalidParameterError(
+            "quality presets only apply to the Legal-Color algorithm"
+        )
+
+    engine, reasons["engine"], engine_predicted = _decide_engine(
+        model, _csr_entries(fast), engine
+    )
+    predicted.update(engine_predicted)
+
+    if algorithm == "legal-color":
+        quality, reasons["quality"], quality_predicted = _decide_quality(
+            model, fast.max_degree, max(2, fast.num_nodes), budget, epsilon, quality
+        )
+        predicted.update(quality_predicted)
+        raw = core_color_vertices(
+            fast, c, quality=quality, epsilon=epsilon, engine=engine
+        )
+    else:
+        raw = luby_vertex_coloring(fast, seed=seed, engine=engine)
+
+    decision = PortfolioDecision(
+        algorithm=algorithm,
+        engine=engine,
+        quality=quality,
+        route=None,
+        reasons=reasons,
+        predicted=predicted,
+        overrides=overrides,
+        model_source=model.source,
+    )
+    return PortfolioResult(
+        colors=raw.colors,
+        palette=raw.palette,
+        metrics=raw.metrics,
+        decision=decision,
+        color_column=raw.color_column,
+        raw=raw,
+    )
+
+
+def color_edges(
+    graph: NetworkLike,
+    *,
+    quality: Optional[str] = None,
+    budget: Optional[float] = None,
+    algorithm: Optional[str] = None,
+    route: Optional[str] = None,
+    engine: Optional[str] = None,
+    epsilon: float = 0.75,
+    use_auxiliary_coloring: bool = True,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> PortfolioResult:
+    """Edge-color ``graph``, choosing algorithm/engine/preset/route automatically.
+
+    The knobs mirror :func:`color_graph`; additionally ``route`` pins the
+    direct (Theorem 5.5) or Lemma 5.2 simulation implementation, and
+    ``algorithm`` may name one of the baselines (``"panconesi-rizzi"``,
+    ``"greedy-reduction"``, ``"luby"``) instead of the paper's
+    ``"legal-color"`` pipeline.
+    """
+    model = cost_model if cost_model is not None else CostModel.default()
+    fast = fast_view(graph)
+    overrides = tuple(
+        name
+        for name, value in (
+            ("algorithm", algorithm),
+            ("engine", engine),
+            ("quality", quality),
+            ("route", route),
+        )
+        if value is not None
+    )
+
+    reasons = {}
+    predicted = {}
+    if algorithm is None:
+        algorithm = "legal-color"
+        reasons["algorithm"] = "paper's Legal-Color pipeline (default)"
+    else:
+        reasons["algorithm"] = "algorithm pinned by caller"
+    if algorithm not in EDGE_ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown edge algorithm {algorithm!r}; expected one of {EDGE_ALGORITHMS}"
+        )
+    if algorithm != "legal-color":
+        if route is not None:
+            raise InvalidParameterError(
+                f"route only applies to algorithm 'legal-color', not {algorithm!r}"
+            )
+        if quality is not None:
+            raise InvalidParameterError(
+                "quality presets only apply to the Legal-Color algorithm"
+            )
+
+    # All four algorithms do their work on L(G), so the engine decision is
+    # driven by the line graph's CSR size (computable from G's degrees).
+    line_entries = _line_csr_entries(fast)
+    engine, reasons["engine"], engine_predicted = _decide_engine(
+        model, line_entries, engine
+    )
+    predicted.update(engine_predicted)
+
+    if algorithm == "legal-color":
+        delta_line = max(1, 2 * fast.max_degree - 2) if fast.max_degree else 1
+        quality, reasons["quality"], quality_predicted = _decide_quality(
+            model, delta_line, max(2, fast.num_nodes), budget, epsilon, quality
+        )
+        predicted.update(quality_predicted)
+        predicted["route_direct_seconds"] = model.predict_route_seconds(
+            "direct", line_entries
+        )
+        predicted["route_simulation_seconds"] = model.predict_route_seconds(
+            "simulation", line_entries
+        )
+        if route is None:
+            route = model.choose_route(line_entries)
+            reasons["route"] = (
+                f"predicted {predicted['route_direct_seconds']:.4f}s direct vs "
+                f"{predicted['route_simulation_seconds']:.4f}s simulation"
+            )
+        else:
+            reasons["route"] = "route pinned by caller"
+        raw = core_color_edges(
+            fast,
+            quality=quality,
+            epsilon=epsilon,
+            route=route,
+            use_auxiliary_coloring=use_auxiliary_coloring,
+            engine=engine,
+        )
+    elif algorithm == "panconesi-rizzi":
+        raw = panconesi_rizzi_edge_coloring(fast, engine=engine)
+    elif algorithm == "greedy-reduction":
+        raw = greedy_reduction_edge_coloring(fast, engine=engine)
+    else:
+        raw = luby_edge_coloring(fast, seed=seed, engine=engine)
+
+    decision = PortfolioDecision(
+        algorithm=algorithm,
+        engine=engine,
+        quality=quality,
+        route=route if algorithm == "legal-color" else None,
+        reasons=reasons,
+        predicted=predicted,
+        overrides=overrides,
+        model_source=model.source,
+    )
+    return PortfolioResult(
+        colors=raw.edge_colors,
+        palette=raw.palette,
+        metrics=raw.metrics,
+        decision=decision,
+        color_column=raw.color_column,
+        raw=raw,
+    )

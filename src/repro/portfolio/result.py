@@ -1,0 +1,85 @@
+"""The portfolio's normalized result and decision records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.edge_coloring import EdgeColoringResult
+from repro.core.legal_coloring import LegalColoringResult
+from repro.local_model.metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class PortfolioDecision:
+    """Everything the portfolio chose for one run, and why.
+
+    ``reasons`` maps each decided knob (``"algorithm"``, ``"engine"``,
+    ``"quality"``, ``"route"``) to a one-line explanation; ``predicted``
+    holds the cost-model numbers (seconds / rounds) the choice was based
+    on; ``overrides`` lists the knobs the caller pinned explicitly, which
+    the portfolio passed through untouched.
+    """
+
+    algorithm: str
+    engine: str
+    quality: Optional[str]
+    route: Optional[str]
+    reasons: Mapping[str, str] = field(default_factory=dict)
+    predicted: Mapping[str, float] = field(default_factory=dict)
+    overrides: Tuple[str, ...] = ()
+    model_source: str = "defaults"
+
+    def is_default(self) -> bool:
+        """Whether the chosen (engine, quality, route) is the default triple.
+
+        The defaults are the ones a plain ``core`` call would use: the
+        process-default ``"batched"`` engine, the ``"linear"`` preset (or no
+        preset, for the preset-free baselines), and the ``"direct"`` route
+        (or no route, for vertex colorings).
+        """
+        return (
+            self.engine == "batched"
+            and self.quality in (None, "linear")
+            and self.route in (None, "direct")
+        )
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """One result shape for every algorithm the portfolio can dispatch to.
+
+    ``colors`` maps the colored items — vertices for :func:`color_graph`,
+    canonical edges for :func:`color_edges` — to their colors;
+    ``color_column`` is the same coloring as an ``int64`` array in the dense
+    item order.  ``decision`` records what the portfolio picked.  The
+    underlying :class:`LegalColoringResult` / :class:`EdgeColoringResult`
+    stays available as ``raw``, and unknown attribute lookups fall through
+    to it, so the portfolio result is a drop-in for either.
+    """
+
+    colors: Dict[Hashable, int]
+    palette: int
+    metrics: RunMetrics
+    decision: PortfolioDecision
+    color_column: Optional[np.ndarray] = field(repr=False, compare=False, default=None)
+    raw: Union[LegalColoringResult, EdgeColoringResult, None] = field(
+        repr=False, compare=False, default=None
+    )
+
+    @property
+    def colors_used(self) -> int:
+        return len(set(self.colors.values()))
+
+    @property
+    def edge_colors(self) -> Dict[Hashable, int]:
+        """Alias of ``colors`` for edge-coloring consumers."""
+        return self.colors
+
+    def __getattr__(self, name: str):
+        raw = object.__getattribute__(self, "raw")
+        if raw is not None and not name.startswith("__"):
+            return getattr(raw, name)
+        raise AttributeError(name)

@@ -95,10 +95,12 @@ class TestGreedyReductionBaseline:
 
 class TestLubyBaseline:
     def test_vertex_coloring_legal(self, medium_regular):
-        colors, metrics = luby_vertex_coloring(medium_regular, seed=1)
-        assert_legal_vertex_coloring(medium_regular, colors)
-        assert max_color(colors) <= medium_regular.max_degree + 1
-        assert metrics.rounds >= 1
+        result = luby_vertex_coloring(medium_regular, seed=1)
+        assert_legal_vertex_coloring(medium_regular, result.colors)
+        assert max_color(result.colors) <= medium_regular.max_degree + 1
+        assert result.palette == medium_regular.max_degree + 1
+        assert result.color_column is not None
+        assert result.metrics.rounds >= 1
 
     def test_edge_coloring_legal(self, small_regular):
         result = luby_edge_coloring(small_regular, seed=2)
@@ -106,17 +108,27 @@ class TestLubyBaseline:
         assert result.palette <= 2 * small_regular.max_degree - 1
 
     def test_reproducible_given_seed(self, small_regular):
-        first, _ = luby_vertex_coloring(small_regular, seed=5)
-        second, _ = luby_vertex_coloring(small_regular, seed=5)
-        assert first == second
+        first = luby_vertex_coloring(small_regular, seed=5)
+        second = luby_vertex_coloring(small_regular, seed=5)
+        assert first.colors == second.colors
 
     def test_rounds_logarithmic_in_practice(self):
         network = graphs.random_regular(128, 6, seed=9)
-        _, metrics = luby_vertex_coloring(network, seed=3)
-        assert metrics.rounds <= 40
+        result = luby_vertex_coloring(network, seed=3)
+        assert result.metrics.rounds <= 40
 
     def test_custom_palette(self, small_regular):
-        colors, _ = luby_vertex_coloring(
+        result = luby_vertex_coloring(
             small_regular, palette=3 * small_regular.max_degree, seed=1
         )
-        assert_legal_vertex_coloring(small_regular, colors)
+        assert_legal_vertex_coloring(small_regular, result.colors)
+
+    def test_deprecated_dict_shim(self, small_regular):
+        import pytest as _pytest
+
+        from repro.baselines import luby_vertex_coloring_dict
+
+        with _pytest.warns(DeprecationWarning):
+            colors, metrics = luby_vertex_coloring_dict(small_regular, seed=5)
+        assert colors == luby_vertex_coloring(small_regular, seed=5).colors
+        assert metrics.rounds >= 1

@@ -46,7 +46,7 @@ class TestExceptionHierarchy:
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -54,6 +54,7 @@ class TestPublicApi:
 
     def test_main_entry_points_exposed(self):
         assert callable(repro.color_edges)
+        assert callable(repro.color_graph)
         assert callable(repro.color_vertices)
         assert callable(repro.run_defective_color)
         assert callable(repro.run_legal_coloring)
@@ -65,6 +66,7 @@ class TestPublicApi:
             "graphs",
             "core",
             "local_model",
+            "portfolio",
             "primitives",
             "baselines",
             "verification",
@@ -78,3 +80,55 @@ class TestPublicApi:
         result = repro.color_edges(network, quality="superlinear")
         repro.verification.assert_legal_edge_coloring(network, result.edge_colors)
         assert result.colors_used >= network.max_degree
+
+    def test_root_color_edges_is_the_portfolio_facade(self):
+        # The package root dispatches through the portfolio; the
+        # preset-explicit core entry points stay where they were.
+        assert repro.color_edges is repro.portfolio.color_edges
+        assert repro.core.color_edges is not repro.color_edges
+        network = repro.graphs.random_regular(16, 4, seed=3)
+        result = repro.color_edges(network)
+        assert isinstance(result, repro.PortfolioResult)
+        assert isinstance(result.decision, repro.PortfolioDecision)
+        assert result.decision.algorithm == "legal-color"
+        # Duck compatibility with EdgeColoringResult consumers.
+        assert result.edge_colors == result.colors
+        assert result.route == result.decision.route
+        assert result.color_column is not None
+
+    def test_portfolio_override_escape_hatches(self):
+        network = repro.graphs.random_regular(16, 4, seed=3)
+        result = repro.color_edges(
+            network, algorithm="panconesi-rizzi", engine="vectorized"
+        )
+        assert result.decision.overrides == ("algorithm", "engine")
+        assert result.decision.engine == "vectorized"
+        assert result.raw.route == "baseline-pr"
+        with pytest.raises(InvalidParameterError):
+            repro.color_edges(network, algorithm="luby", route="direct")
+        with pytest.raises(InvalidParameterError):
+            repro.color_graph(network, algorithm="legal-color")  # needs c
+
+    def test_normalized_baseline_returns(self):
+        # The four baselines share the core result dataclasses since 1.5.
+        network = repro.graphs.random_regular(16, 4, seed=3)
+        vertex = repro.baselines.luby_vertex_coloring(network, seed=1)
+        assert isinstance(vertex, repro.LegalColoringResult)
+        assert vertex.color_column is not None
+        for fn in (
+            repro.baselines.luby_edge_coloring,
+            repro.baselines.panconesi_rizzi_edge_coloring,
+            repro.baselines.greedy_reduction_edge_coloring,
+        ):
+            result = fn(network)
+            assert isinstance(result, repro.EdgeColoringResult)
+            assert result.color_column is not None
+
+    def test_deprecated_luby_dict_shim(self):
+        network = repro.graphs.random_regular(16, 4, seed=3)
+        with pytest.warns(DeprecationWarning):
+            colors, metrics = repro.baselines.luby_vertex_coloring_dict(
+                network, seed=1
+            )
+        assert colors == repro.baselines.luby_vertex_coloring(network, seed=1).colors
+        assert metrics.rounds >= 1

@@ -1,0 +1,210 @@
+"""Decision pinning for the `color_graph` / `color_edges` portfolio façade.
+
+The façade decides (engine, quality preset, route) per instance from the
+committed cost model (``benchmarks/results/portfolio_model.json``).  These
+tests pin the decisions on the three benchmarked instance classes — small,
+large, and dense — so a model re-record that silently flips a decision
+fails loudly, and they check that every decision is carried on the result
+object with its reason and predicted costs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import graphs
+from repro.exceptions import InvalidParameterError
+from repro.portfolio import (
+    EDGE_ALGORITHMS,
+    QUALITY_ORDER,
+    VERTEX_ALGORITHMS,
+    CostModel,
+    color_edges,
+    color_graph,
+)
+from repro.portfolio.cost_model import DEFAULT_MODEL, quality_round_shape
+from repro.portfolio.facade import _csr_entries, _line_csr_entries
+from repro.local_model.fast_network import fast_view
+from repro.verification import (
+    assert_legal_edge_coloring,
+    assert_legal_vertex_coloring,
+)
+
+MODEL_RECORD = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "results"
+    / "portfolio_model.json"
+)
+
+
+class TestCommittedModel:
+    def test_default_loads_the_committed_record(self):
+        assert MODEL_RECORD.exists(), "calibration record missing"
+        model = CostModel.default()
+        assert model.source == str(MODEL_RECORD)
+
+    def test_embedded_snapshot_matches_committed_record(self):
+        # The in-package fallback must stay in sync with the record so an
+        # installed package decides identically to a repo checkout.
+        with MODEL_RECORD.open() as handle:
+            record = json.load(handle)
+        for section in ("engine", "route", "rounds"):
+            assert record[section] == DEFAULT_MODEL[section]
+
+    def test_engine_crossover(self):
+        model = CostModel.default()
+        assert model.choose_engine(500) == "batched"
+        assert model.choose_engine(200_000) == "vectorized"
+
+    def test_route_prefers_direct(self):
+        # On the reference machine the Lemma 5.2 simulation never beats the
+        # direct route, so the measured model keeps the direct default.
+        model = CostModel.default()
+        assert model.choose_route(1_000) == "direct"
+        assert model.choose_route(1_000_000) == "direct"
+
+    def test_quality_budget_walk(self):
+        model = CostModel.default()
+        assert model.choose_quality(92, 48, None) == "linear"
+        assert model.choose_quality(92, 48, 10_000.0) == "linear"
+        # Predicted rounds are monotone along QUALITY_ORDER shapes, so a
+        # budget between two presets picks the best palette that fits.
+        linear = model.predict_rounds("linear", 92, 48)
+        subpoly = model.predict_rounds("subpolynomial", 92, 48)
+        assert subpoly < linear
+        assert model.choose_quality(92, 48, (linear + subpoly) / 2) == "subpolynomial"
+        assert model.choose_quality(92, 48, 1.0) == "superlinear"
+
+    def test_round_shapes_monotone_in_delta(self):
+        for quality in QUALITY_ORDER:
+            assert quality_round_shape(quality, 64, 100) > quality_round_shape(
+                quality, 4, 100
+            )
+
+
+class TestDecisionPins:
+    """The benchmarked instance classes and the decisions they must get."""
+
+    def test_small_instance_stays_on_defaults(self):
+        network = graphs.random_regular(32, 4, seed=1, backend="fast")
+        result = color_edges(network)
+        decision = result.decision
+        assert (decision.algorithm, decision.engine) == ("legal-color", "batched")
+        assert (decision.quality, decision.route) == ("linear", "direct")
+        assert decision.is_default()
+        assert decision.overrides == ()
+        assert_legal_edge_coloring(network, result.colors)
+
+    def test_large_instance_flips_engine(self):
+        network = graphs.random_regular(2048, 8, seed=2, backend="fast")
+        result = color_graph(network, seed=1)
+        decision = result.decision
+        assert decision.algorithm == "luby"
+        assert decision.engine == "vectorized"
+        assert not decision.is_default()
+        assert "CSR entries" in decision.reasons["engine"]
+        predicted = decision.predicted
+        assert (
+            predicted["engine_vectorized_seconds"]
+            < predicted["engine_batched_seconds"]
+        )
+        assert_legal_vertex_coloring(network, result.colors)
+
+    def test_dense_instance_with_budget_degrades_quality(self):
+        network = graphs.complete_graph(24, backend="fast")
+        result = color_edges(network, budget=40.0)
+        decision = result.decision
+        assert decision.engine == "vectorized"  # L(G) is big even at n=24
+        assert decision.quality == "superlinear"
+        assert not decision.is_default()
+        assert "infeasible" in decision.reasons["quality"]
+        assert_legal_edge_coloring(network, result.colors)
+
+    def test_decisions_match_committed_benchmark_pins(self):
+        # bench_portfolio.py records the decisions it took with the fresh
+        # calibration; the committed model must reproduce them.
+        with MODEL_RECORD.open() as handle:
+            pins = json.load(handle)["decisions"]
+        assert len(pins) >= 3
+        by_instance = {pin["instance"]: pin for pin in pins}
+        small = by_instance["small-regular(n=32, Delta=4)"]
+        assert small["engine"] == "batched" and small["is_default"]
+        large = next(
+            pin for name, pin in by_instance.items() if name.startswith("large-")
+        )
+        assert large["engine"] == "vectorized" and not large["is_default"]
+        dense = by_instance["dense-complete(n=48, Delta=47)"]
+        assert dense["quality"] == "superlinear" and not dense["is_default"]
+
+    def test_entry_counts_match_csr(self):
+        network = graphs.random_regular(32, 4, seed=1, backend="fast")
+        fast = fast_view(network)
+        assert _csr_entries(fast) == 32 * 4 + 32
+        # |E| = 64, each edge has d(u)+d(v)-2 = 6 line neighbors.
+        assert _line_csr_entries(fast) == 64 * 6 + 64
+
+
+class TestFacadeContract:
+    def test_algorithm_lists_exposed(self):
+        assert "legal-color" in VERTEX_ALGORITHMS
+        assert set(EDGE_ALGORITHMS) >= {"legal-color", "panconesi-rizzi", "luby"}
+
+    def test_every_decision_has_an_override(self):
+        network = graphs.random_regular(16, 4, seed=3, backend="fast")
+        result = color_edges(
+            network,
+            algorithm="legal-color",
+            engine="reference",
+            quality="superlinear",
+            route="simulation",
+        )
+        decision = result.decision
+        assert decision.overrides == ("algorithm", "engine", "quality", "route")
+        assert decision.engine == "reference"
+        assert decision.quality == "superlinear"
+        assert decision.route == "simulation"
+        for knob in ("algorithm", "engine", "quality", "route"):
+            assert "pinned by caller" in decision.reasons[knob]
+
+    def test_custom_cost_model_is_honored_and_recorded(self):
+        # A model that makes the vectorized engine free must flip even a
+        # tiny instance; the decision records where the model came from.
+        skewed = {k: dict(v) if isinstance(v, dict) else v for k, v in DEFAULT_MODEL.items()}
+        skewed["engine"] = {
+            "batched_us_per_entry": 1e6,
+            "vectorized_us_per_entry": 0.0,
+            "vectorized_overhead_us": 0.0,
+        }
+        skewed["rounds"] = {q: dict(DEFAULT_MODEL["rounds"][q]) for q in QUALITY_ORDER}
+        model = CostModel.from_mapping(skewed, source="unit-test")
+        network = graphs.random_regular(16, 4, seed=3, backend="fast")
+        result = color_graph(network, cost_model=model, seed=1)
+        assert result.decision.engine == "vectorized"
+        assert result.decision.model_source == "unit-test"
+
+    def test_normalized_result_shape(self):
+        network = graphs.random_regular(16, 4, seed=3, backend="fast")
+        for result in (
+            color_graph(network, seed=1),
+            color_edges(network, algorithm="greedy-reduction"),
+        ):
+            assert isinstance(result, repro.PortfolioResult)
+            assert result.color_column is not None
+            assert len(result.colors) == len(result.color_column)
+            assert result.palette >= 1
+            assert result.metrics.rounds >= 1
+            assert result.decision.model_source
+
+    def test_invalid_knobs_raise(self):
+        network = graphs.random_regular(16, 4, seed=3, backend="fast")
+        with pytest.raises(InvalidParameterError):
+            color_edges(network, algorithm="nope")
+        with pytest.raises(InvalidParameterError):
+            color_edges(network, algorithm="greedy-reduction", quality="linear")
+        with pytest.raises(InvalidParameterError):
+            color_graph(network, quality="linear")  # luby has no presets
