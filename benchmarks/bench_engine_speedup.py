@@ -1,17 +1,22 @@
-"""Three execution engines compared, plus setup cost and a cached parallel sweep.
+"""Four execution engines compared, plus setup cost and a cached parallel sweep.
 
-Four claims are demonstrated here (committed numbers in
+Five claims are demonstrated here (committed numbers in
 ``benchmarks/results/engine_speedup.md`` / ``engine_speedup.json``):
 
-1. **Speedup.**  On random regular graphs up to ``n = 100,000``, Procedure
+1. **Speedup.**  On random regular graphs up to ``n = 1,000,000``, Procedure
    Legal-Color (Theorem 4.8(2) parameters) runs substantially faster on the
    batched engine than on the reference scheduler, and another order of
    magnitude faster on the vectorized engine -- >= 5x over batched at
    ``n >= 50,000`` -- while producing the *identical* coloring and identical
    metrics (the equivalence suite locks this down for the whole algorithm
-   zoo; this benchmark re-checks it on the timed instances).  The reference
-   scheduler is only timed at the smallest full-mode size; at ``n >= 50,000``
-   it would take tens of minutes without adding information.
+   zoo; this benchmark re-checks it on the timed instances).  The compiled
+   engine (fused kernels, ``repro.local_model.kernels``) beats vectorized
+   by >= 3x at ``n >= 100,000`` whenever a kernel backend resolves, again
+   bit-identically; its column is skipped when no backend resolves.  The
+   reference scheduler is only timed at the smallest full-mode size; at
+   ``n >= 50,000`` it would take tens of minutes without adding information.
+   A thread-scaling row times the compiled engine at one kernel thread vs.
+   all available threads on the same instance.
 2. **Edge coloring at scale.**  End-to-end ``color_edges`` (Theorem 5.5
    direct route: CSR line-graph builder + the Corollary 5.4 edge kernel)
    up to ``|E| >= 10^6`` (``n = 131,072``, ``Delta = 16``; the line graph
@@ -58,6 +63,7 @@ from repro.analysis import format_table
 from repro.core import color_edges, color_vertices
 from repro.experiments import GraphSpec, Scenario
 from repro.graphs.line_graph import build_line_graph_fast, build_line_graph_network
+from repro.local_model import kernels
 from repro.local_model.fast_network import fast_view
 from repro.verification import is_legal_edge_coloring, is_legal_vertex_coloring
 
@@ -66,18 +72,41 @@ SPEEDUP_SEED = 3
 #: Neighborhood-independence bound passed to Procedure Legal-Color.
 SPEEDUP_C = 5
 
+#: Whether a compiled kernel backend resolved on this machine.  Without one
+#: the compiled column would just re-time the numpy fallback plus dispatch
+#: overhead, so it is skipped (and the record says why).
+COMPILED_BACKEND = kernels.backend_name()
+
+
+def _with_compiled(engines):
+    return engines + ("compiled",) if COMPILED_BACKEND else engines
+
+
 #: (n, engines timed at that size).  The reference scheduler is only timed
-#: where it finishes in seconds; batched-vs-vectorized is the interesting
-#: comparison at scale.
+#: where it finishes in seconds; batched-vs-vectorized-vs-compiled is the
+#: interesting comparison at scale.  The largest full-mode size times only
+#: the two array engines -- the batched engine would take minutes there.
+#: Quick mode times the compiled ratio on its own n = 20,000 row rather
+#: than at n = 400: at tiny sizes the vectorized engine's per-round numpy
+#: overhead dominates and the compiled/vectorized ratio is large but noisy,
+#: which is exactly what a 30%-tolerance CI gate cannot sit on.
 SPEEDUP_SIZES = (
-    ((400, ("reference", "batched", "vectorized")),)
+    (
+        (400, ("reference", "batched", "vectorized")),
+        (20_000, _with_compiled(("vectorized",))),
+    )
     if QUICK
     else (
-        (2000, ("reference", "batched", "vectorized")),
-        (50_000, ("batched", "vectorized")),
-        (100_000, ("batched", "vectorized")),
+        (2000, _with_compiled(("reference", "batched", "vectorized"))),
+        (50_000, _with_compiled(("batched", "vectorized"))),
+        (100_000, _with_compiled(("batched", "vectorized"))),
+        (1_000_000, _with_compiled(("vectorized",))),
     )
 )
+
+#: Instance for the one-thread vs. all-threads compiled timing (full mode
+#: reuses the n = 100,000 Legal-Color workload).
+THREAD_SCALING_N = 400 if QUICK else 100_000
 
 #: Edge-coloring scale column: (n, degree, engines timed).  Degrees are
 #: chosen so Delta(L) = 2 (Delta - 1) exceeds the superlinear preset's
@@ -85,12 +114,15 @@ SPEEDUP_SIZES = (
 #: The largest full-mode instance has |E| >= 10^6 (the line graph L(G) the
 #: pipeline vertex-colors has |E| nodes); only the vectorized engine is
 #: timed there -- the batched engine would take tens of minutes.
+#: Quick mode skips the compiled edge column: at |V(L)| = 1200 the runs
+#: take ~10 ms and the compiled/vectorized ratio is too noisy to CI-gate
+#: (the n = 20,000 Legal-Color row above carries the gated compiled ratio).
 EDGE_SIZES = (
     ((200, 12, ("reference", "batched", "vectorized")),)
     if QUICK
     else (
-        (20_000, 16, ("batched", "vectorized")),
-        (131_072, 16, ("vectorized",)),
+        (20_000, 16, _with_compiled(("batched", "vectorized"))),
+        (131_072, 16, _with_compiled(("vectorized",))),
     )
 )
 
@@ -108,8 +140,13 @@ RESULTS_FILE = "engine_speedup_quick.json" if QUICK else "engine_speedup.json"
 
 #: Runs faster than this are repeated (best-of, up to _MAX_REPEATS) so the
 #: perf-regression gate never compares single ~10 ms samples across noisy CI
-#: machines; multi-second runs stay single-shot.
+#: machines; runs beyond _SINGLE_SHOT_SECONDS stay single-shot.  In the
+#: window between the two, at least two samples are taken: a first run that
+#: lands just past the threshold can be all warmup (page cache, allocator
+#: growth after a multi-minute neighbor), and a single such sample once
+#: recorded a 5x-inflated wall time for a 0.35s workload.
 _MIN_RELIABLE_SECONDS = 0.5
+_SINGLE_SHOT_SECONDS = 10.0
 _MAX_REPEATS = 5
 
 
@@ -117,7 +154,7 @@ def _timed(make_run):
     """Best-of-``_MAX_REPEATS`` timing of ``make_run`` (deterministic runs)."""
     result = None
     best = None
-    for _ in range(_MAX_REPEATS):
+    for attempt in range(_MAX_REPEATS):
         started = time.perf_counter()
         run = make_run()
         elapsed = time.perf_counter() - started
@@ -125,9 +162,17 @@ def _timed(make_run):
             result = run  # Deterministic: every repeat produces the same result.
         if best is None or elapsed < best:
             best = elapsed
-        if best >= _MIN_RELIABLE_SECONDS:
+        if best >= _SINGLE_SHOT_SECONDS:
+            break
+        if best >= _MIN_RELIABLE_SECONDS and attempt >= 1:
             break
     return result, best
+
+
+def _top_phases(metrics, k: int = 4) -> dict:
+    """The ``k`` most expensive phases of a run, by measured wall seconds."""
+    ranked = sorted(metrics.phase_seconds.items(), key=lambda kv: kv[1], reverse=True)
+    return {name: round(seconds, 4) for name, seconds in ranked[:k]}
 
 
 def _timed_legal_color(network, engine: str):
@@ -172,6 +217,11 @@ def _run_edge_size(n: int, degree: int, engines, edge_runs=None) -> dict:
         assert len(results["vectorized"].levels) >= 1, (
             "edge instance too small: the Corollary 5.4 recursion never ran"
         )
+    if "compiled" in results:
+        # With a resolved backend, every kernel-covered phase must actually
+        # dispatch to it; a numpy fallback would quietly re-time vectorized.
+        fallbacks = results["compiled"].metrics.compiled_fallback_phase_names
+        assert not fallbacks, f"compiled edge run fell back at n={n}: {fallbacks}"
 
     row = {
         "n": n,
@@ -181,6 +231,9 @@ def _run_edge_size(n: int, degree: int, engines, edge_runs=None) -> dict:
         "rounds": baseline.metrics.rounds,
         "palette": baseline.palette,
         "levels": len(baseline.levels),
+        "top_phase_seconds": {
+            engine: _top_phases(results[engine].metrics) for engine in engines
+        },
         "identical_outputs": True,
     }
     if "reference" in seconds and "batched" in seconds:
@@ -194,6 +247,10 @@ def _run_edge_size(n: int, degree: int, engines, edge_runs=None) -> dict:
     if "reference" in seconds and "vectorized" in seconds:
         row["speedup_vectorized_over_reference"] = round(
             seconds["reference"] / max(seconds["vectorized"], 1e-9), 2
+        )
+    if "vectorized" in seconds and "compiled" in seconds:
+        row["speedup_compiled_over_vectorized"] = round(
+            seconds["vectorized"] / max(seconds["compiled"], 1e-9), 2
         )
     return row
 
@@ -336,7 +393,15 @@ def _sweep_scenarios():
 
 def _run_size(n: int, engines) -> dict:
     """Time every engine on one instance; verify bit-identical outputs."""
-    network = graphs.random_regular(n, SPEEDUP_DEGREE, seed=SPEEDUP_SEED)
+    # Legacy (networkx) generation keeps the historical rows comparable; at
+    # the million-node size the legacy builder alone takes tens of minutes
+    # and ~4 GB, so that row generates through the fast CSR builder --
+    # generation is untimed, and the within-row engine ratios are what the
+    # record (and the CI gate) compare.
+    backend = "fast" if n >= 500_000 else "legacy"
+    network = graphs.random_regular(
+        n, SPEEDUP_DEGREE, seed=SPEEDUP_SEED, backend=backend
+    )
     results = {}
     seconds = {}
     for engine in engines:
@@ -355,14 +420,23 @@ def _run_size(n: int, engines) -> dict:
         # per-node Python.
         fallbacks = results["vectorized"].metrics.fallback_phase_names
         assert not fallbacks, f"vectorized run fell back at n={n}: {fallbacks}"
+    if "compiled" in results:
+        # With a resolved backend, every kernel-covered phase must actually
+        # dispatch to it; a numpy fallback would quietly re-time vectorized.
+        fallbacks = results["compiled"].metrics.compiled_fallback_phase_names
+        assert not fallbacks, f"compiled run fell back at n={n}: {fallbacks}"
 
     row = {
         "n": n,
         "degree": SPEEDUP_DEGREE,
+        "generator_backend": backend,
         "seconds": {engine: round(seconds[engine], 4) for engine in engines},
         "rounds": baseline.metrics.rounds,
         "messages": baseline.metrics.messages,
         "palette": baseline.palette,
+        "top_phase_seconds": {
+            engine: _top_phases(results[engine].metrics) for engine in engines
+        },
         "identical_outputs": True,
     }
     if "reference" in seconds and "batched" in seconds:
@@ -380,14 +454,63 @@ def _run_size(n: int, engines) -> dict:
         row["speedup_vectorized_over_reference"] = round(
             seconds["reference"] / max(seconds["vectorized"], 1e-9), 2
         )
+    if "vectorized" in seconds and "compiled" in seconds:
+        # End-to-end ratio of the fused kernel backend over the numpy
+        # kernels -- the quantity the compiled engine attacks; gated by
+        # benchmarks/check_regression.py.
+        row["speedup_compiled_over_vectorized"] = round(
+            seconds["vectorized"] / max(seconds["compiled"], 1e-9), 2
+        )
     return row
+
+
+def _run_thread_scaling() -> dict:
+    """Time the compiled engine at one kernel thread vs. all available.
+
+    Same instance, same backend, identical outputs asserted across thread
+    counts (the kernels are written so concurrent recolorings never race on
+    a decision input).  On a single-core machine both timings use one
+    thread and the ratio is ~1.0 -- the record keeps ``available_threads``
+    next to the ratio so the reader can tell "no scaling headroom" from
+    "scaling regression".
+    """
+    network = graphs.random_regular(THREAD_SCALING_N, SPEEDUP_DEGREE, seed=SPEEDUP_SEED)
+    available = kernels.get_num_threads()
+    try:
+        kernels.set_num_threads(1)
+        single_result, single_seconds = _timed_legal_color(network, "compiled")
+        kernels.set_num_threads(available)
+        multi_result, multi_seconds = _timed_legal_color(network, "compiled")
+    finally:
+        kernels.set_num_threads(available)
+    assert single_result.colors == multi_result.colors, (
+        "compiled engine output depends on the kernel thread count"
+    )
+    assert single_result.metrics.summary() == multi_result.metrics.summary()
+    return {
+        "n": THREAD_SCALING_N,
+        "degree": SPEEDUP_DEGREE,
+        "backend": COMPILED_BACKEND,
+        "available_threads": available,
+        "seconds": {
+            "one_thread": round(single_seconds, 4),
+            "all_threads": round(multi_seconds, 4),
+        },
+        "thread_scaling": round(single_seconds / max(multi_seconds, 1e-9), 2),
+        "identical_outputs": True,
+    }
 
 
 def test_engine_speedup(benchmark):
     rows = []
+    backend_note = (
+        f"kernel backend '{COMPILED_BACKEND}', {kernels.get_num_threads()} thread(s)"
+        if COMPILED_BACKEND
+        else f"no kernel backend ({kernels.backend_reason()}); compiled column skipped"
+    )
     print_section(
-        "Three execution engines -- Procedure Legal-Color "
-        f"(Delta = {SPEEDUP_DEGREE}, c = {SPEEDUP_C})"
+        "Four execution engines -- Procedure Legal-Color "
+        f"(Delta = {SPEEDUP_DEGREE}, c = {SPEEDUP_C}; {backend_note})"
     )
     for n, engines in SPEEDUP_SIZES:
         row = _run_size(n, engines)
@@ -400,9 +523,10 @@ def test_engine_speedup(benchmark):
                 "reference (s)",
                 "batched (s)",
                 "vectorized (s)",
+                "compiled (s)",
                 "batched/ref",
                 "vec/batched",
-                "vec/ref",
+                "comp/vec",
                 "rounds",
                 "palette",
             ],
@@ -412,9 +536,10 @@ def test_engine_speedup(benchmark):
                     row["seconds"].get("reference", "-"),
                     row["seconds"].get("batched", "-"),
                     row["seconds"].get("vectorized", "-"),
+                    row["seconds"].get("compiled", "-"),
                     row.get("speedup_batched_over_reference", "-"),
                     row.get("speedup_vectorized_over_batched", "-"),
-                    row.get("speedup_vectorized_over_reference", "-"),
+                    row.get("speedup_compiled_over_vectorized", "-"),
                     row["rounds"],
                     row["palette"],
                 ]
@@ -424,15 +549,83 @@ def test_engine_speedup(benchmark):
     )
     print("\nIdentical colorings and metrics across all timed engines.")
 
-    # The committed record claims >= 5x at n >= 50,000; keep the in-test
-    # bound looser so a loaded box does not flake.
+    # Per-phase wall time at the largest size: where the compiled kernels
+    # actually win (satellite of the phase_seconds instrumentation).
+    largest = rows[-1]
+    phase_engines = [e for e in ("vectorized", "compiled") if e in largest["seconds"]]
+    phase_names = sorted(
+        {name for engine in phase_engines for name in largest["top_phase_seconds"][engine]}
+    )
+    if phase_names:
+        print(f"\nMost expensive phases at n={largest['n']} (wall seconds):")
+        print(
+            format_table(
+                ["phase"] + [f"{engine} (s)" for engine in phase_engines],
+                [
+                    [name]
+                    + [
+                        largest["top_phase_seconds"][engine].get(name, "-")
+                        for engine in phase_engines
+                    ]
+                    for name in phase_names
+                ],
+            )
+        )
+
+    # The committed record claims >= 5x vectorized/batched at n >= 50,000
+    # and >= 3x compiled/vectorized at n >= 100,000; keep the in-test
+    # bounds looser so a loaded box does not flake.
     if not QUICK:
         for row in rows:
-            if row["n"] >= 50_000:
+            if row["n"] >= 50_000 and "speedup_vectorized_over_batched" in row:
                 speedup = row["speedup_vectorized_over_batched"]
                 assert speedup >= 3.0, (
                     f"vectorized engine only {speedup:.2f}x faster at n={row['n']}"
                 )
+            if row["n"] >= 100_000 and "speedup_compiled_over_vectorized" in row:
+                speedup = row["speedup_compiled_over_vectorized"]
+                assert speedup >= 1.5, (
+                    f"compiled engine only {speedup:.2f}x faster at n={row['n']}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Thread scaling: compiled engine, one kernel thread vs. all.
+    # ------------------------------------------------------------------ #
+    thread_row = None
+    if COMPILED_BACKEND:
+        print_section(
+            "Compiled engine thread scaling -- one kernel thread vs. all "
+            f"available (backend '{COMPILED_BACKEND}')"
+        )
+        thread_row = _run_thread_scaling()
+        print(
+            format_table(
+                [
+                    "n",
+                    "threads avail",
+                    "1 thread (s)",
+                    "all threads (s)",
+                    "scaling",
+                ],
+                [
+                    [
+                        thread_row["n"],
+                        thread_row["available_threads"],
+                        thread_row["seconds"]["one_thread"],
+                        thread_row["seconds"]["all_threads"],
+                        thread_row["thread_scaling"],
+                    ]
+                ],
+            )
+        )
+        print(
+            "\nIdentical colorings and metrics across thread counts."
+            + (
+                "  (Single-core machine: no scaling headroom to measure.)"
+                if thread_row["available_threads"] == 1
+                else ""
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Edge coloring at scale (Theorem 5.5 direct route on L(G)).
@@ -455,7 +648,9 @@ def test_engine_speedup(benchmark):
                 "reference (s)",
                 "batched (s)",
                 "vectorized (s)",
+                "compiled (s)",
                 "vec/batched",
+                "comp/vec",
                 "levels",
                 "palette",
             ],
@@ -467,7 +662,9 @@ def test_engine_speedup(benchmark):
                     row["seconds"].get("reference", "-"),
                     row["seconds"].get("batched", "-"),
                     row["seconds"].get("vectorized", "-"),
+                    row["seconds"].get("compiled", "-"),
                     row.get("speedup_vectorized_over_batched", "-"),
+                    row.get("speedup_compiled_over_vectorized", "-"),
                     row["levels"],
                     row["palette"],
                 ]
@@ -477,7 +674,12 @@ def test_engine_speedup(benchmark):
     )
     print(
         "\nIdentical edge colorings and metrics across all timed engines; "
-        "zero batched fallbacks on every vectorized run."
+        "zero batched fallbacks on every vectorized run"
+        + (
+            ", zero numpy fallbacks on every compiled run."
+            if COMPILED_BACKEND
+            else "."
+        )
     )
 
     # The committed record claims >= 10x end-to-end at n = 20,000; keep the
@@ -589,9 +791,12 @@ def test_engine_speedup(benchmark):
                 "graph": f"random_regular(n, degree, seed={SPEEDUP_SEED})",
             },
             "quick": QUICK,
+            "kernel_backend": COMPILED_BACKEND,
+            "kernel_threads": kernels.get_num_threads() if COMPILED_BACKEND else 0,
             "sizes": rows,
             "edge_sizes": edge_rows,
             "setup_sizes": setup_rows,
+            "thread_scaling": thread_row,
             "sweep": {
                 "scenarios": len(scenarios),
                 "fresh_seconds": round(first_seconds, 3),

@@ -45,6 +45,7 @@ from repro import graphs
 from repro.analysis import format_table
 from repro.baselines import luby_vertex_coloring
 from repro.core import color_edges as core_color_edges
+from repro.local_model import kernels
 from repro.local_model.fast_network import fast_view
 from repro.portfolio import CostModel
 from repro.portfolio import color_edges as portfolio_color_edges
@@ -130,6 +131,36 @@ def _calibrate(luby_rows: list) -> dict:
     slope_us = max(slope_us, 1e-3)
     overhead_us = max(small_vectorized * 1e6 - slope_us * small_entries, 1.0)
 
+    # --- compiled engine: same two-point fit, same instances ------------- #
+    # Measured whether or not a kernel backend resolved (without one the
+    # compiled engine runs its numpy fallback, and the recorded coefficients
+    # honestly describe that configuration); `choose_engine` separately
+    # refuses to *pick* "compiled" on backend-less machines.
+    large_net = graphs.random_regular(
+        large_row["n"], large_row["degree"], seed=LUBY_SEED, backend="fast"
+    )
+    large_fast = fast_view(large_net)
+    small_compiled = min(
+        _time_luby(small_fast, "compiled")[0] for _ in range(VEC_REPEATS)
+    )
+    large_compiled_seconds = float("inf")
+    for _ in range(VEC_REPEATS):
+        seconds, compiled_result = _time_luby(large_fast, "compiled")
+        large_compiled_seconds = min(large_compiled_seconds, seconds)
+    vectorized_result = _time_luby(large_fast, "vectorized")[1]
+    assert compiled_result.colors == vectorized_result.colors, (
+        "compiled and vectorized engines diverged on the calibration instance"
+    )
+    compiled_slope_us = max(
+        (large_compiled_seconds - small_compiled)
+        / (large_entries - small_entries)
+        * 1e6,
+        1e-3,
+    )
+    compiled_overhead_us = max(
+        small_compiled * 1e6 - compiled_slope_us * small_entries, 1.0
+    )
+
     # --- route: direct vs Lemma 5.2 simulation seconds per line entry ---- #
     edge_n, edge_degree = CALIBRATION_EDGE
     edge_net = graphs.random_regular(edge_n, edge_degree, seed=LUBY_SEED, backend="fast")
@@ -161,6 +192,8 @@ def _calibrate(luby_rows: list) -> dict:
             "batched_us_per_entry": round(batched_us, 4),
             "vectorized_us_per_entry": round(slope_us, 4),
             "vectorized_overhead_us": round(overhead_us, 1),
+            "compiled_us_per_entry": round(compiled_slope_us, 4),
+            "compiled_overhead_us": round(compiled_overhead_us, 1),
         },
         "route": {
             "direct_us_per_line_entry": round(route_us["direct"], 4),
@@ -170,8 +203,12 @@ def _calibrate(luby_rows: list) -> dict:
         "calibration": {
             "engine_small": {"n": small_n, "degree": small_degree,
                              "batched_seconds": round(small_batched, 4),
-                             "vectorized_seconds": round(small_vectorized, 4)},
-            "engine_large": {"n": large_row["n"], "degree": large_row["degree"]},
+                             "vectorized_seconds": round(small_vectorized, 4),
+                             "compiled_seconds": round(small_compiled, 4)},
+            "engine_large": {"n": large_row["n"], "degree": large_row["degree"],
+                             "compiled_seconds": round(large_compiled_seconds, 4)},
+            "kernel_backend": kernels.backend_name(),
+            "kernel_threads": kernels.get_num_threads(),
             "edge_instance": {"n": edge_n, "degree": edge_degree,
                               "line_csr_entries": line_entries},
         },
@@ -208,7 +245,10 @@ def _pin_decisions(model: CostModel) -> list:
         "route": result.decision.route,
         "is_default": result.decision.is_default(),
     })
-    assert result.decision.engine == "vectorized" and not result.decision.is_default(), (
+    assert (
+        result.decision.engine in ("vectorized", "compiled")
+        and not result.decision.is_default()
+    ), (
         "the large instance class must flip the engine off the default: "
         f"{result.decision.reasons['engine']}"
     )

@@ -50,6 +50,11 @@ SPEEDUP_KEYS = (
     "speedup_luby_vectorized_over_legacy",
     "speedup_pr_vectorized_over_batched",
     "speedup_luby_edge_vectorized_over_batched",
+    # PR 8: the compiled kernel backend over the numpy kernels.  Present in
+    # a record only when a kernel backend resolved at record time; a fresh
+    # CI record that *lost* the ratio (backend stopped resolving) fails the
+    # gate, which is the point.
+    "speedup_compiled_over_vectorized",
 )
 
 #: Row sections of the results record the gate compares.  "sizes" is the

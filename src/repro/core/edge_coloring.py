@@ -226,6 +226,10 @@ def _direct_metrics(params: LegalColorParameters, raw: RunMetrics) -> RunMetrics
                 max_message_words=max_words,
             )
         )
-    # The adjustment must not hide which phases ran on the batched fallback.
+    # The adjustment must not hide which phases ran on a fallback path, nor
+    # drop the measured wall-time breakdown.
     adjusted.fallback_phase_names.extend(raw.fallback_phase_names)
+    adjusted.compiled_fallback_phase_names.extend(raw.compiled_fallback_phase_names)
+    for name, seconds in raw.phase_seconds.items():
+        adjusted.add_phase_seconds(name, seconds)
     return adjusted

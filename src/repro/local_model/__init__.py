@@ -21,6 +21,10 @@ The main entry points are:
   kernels over the CSR arrays, everything else falls back to the batched
   path (select any engine via
   :func:`~repro.local_model.engine.make_scheduler` / ``engine=`` arguments),
+* :class:`~repro.local_model.compiled.CompiledScheduler` -- the compiled
+  multi-core engine: the vectorized engine plus fused numba / C-extension
+  kernels (see :mod:`repro.local_model.kernels`) for the per-round hot
+  loops, with a per-phase numpy fallback,
 * :func:`~repro.local_model.line_graph_sim.simulate_on_line_graph` -- the
   Lemma 5.2 simulation of an algorithm for ``L(G)`` on the network ``G``.
 """
@@ -32,7 +36,9 @@ from repro.local_model.algorithm import (
     PhasePipeline,
     SynchronousPhase,
 )
+from repro.local_model import kernels
 from repro.local_model.batched import BatchedScheduler, NetworkLike
+from repro.local_model.compiled import CompiledScheduler
 from repro.local_model.engine import (
     available_engines,
     default_engine,
@@ -60,6 +66,7 @@ __all__ = [
     "SILENT",
     "BatchedScheduler",
     "BroadcastPhase",
+    "CompiledScheduler",
     "FastNetwork",
     "LineGraphMeta",
     "LineGraphSimulationResult",
@@ -81,6 +88,7 @@ __all__ = [
     "build_line_graph_fast",
     "default_engine",
     "fast_view",
+    "kernels",
     "line_meta_for",
     "make_scheduler",
     "node_sort_key",

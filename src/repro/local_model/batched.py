@@ -27,6 +27,7 @@ and must not be mutated by receivers.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import RoundLimitExceeded, SimulationError
@@ -194,7 +195,10 @@ class BatchedScheduler:
         metrics = RunMetrics()
         phases = algorithm.phases if isinstance(algorithm, PhasePipeline) else (algorithm,)
         for phase in phases:
-            metrics.add_phase(self._run_single_phase(phase, states, views))
+            started = time.perf_counter()
+            phase_metrics = self._run_single_phase(phase, states, views)
+            metrics.add_phase(phase_metrics)
+            metrics.add_phase_seconds(phase_metrics.name, time.perf_counter() - started)
         return metrics
 
     def _run_single_phase(

@@ -16,6 +16,12 @@ phases:
   color reductions, the defective polynomial steps, ``psi``-selection) as
   numpy kernels over the CSR arrays, falling back to the batched path per
   phase for everything else.  Use it for large instances.
+* ``"compiled"`` -- :class:`~repro.local_model.compiled.CompiledScheduler`,
+  the vectorized engine plus fused multi-core kernels (numba or a
+  C/OpenMP extension, see :mod:`repro.local_model.kernels`) for the per-round
+  hot loops, falling back to the numpy ``vector_run`` per phase when no
+  kernel (or no backend) exists.  Bit-identical to ``"vectorized"`` in
+  every configuration; fastest on large instances with multiple cores.
 
 Every high-level algorithm (``run_legal_coloring``, ``color_edges``, ...)
 accepts an ``engine`` argument that is resolved here; ``None`` falls back to
@@ -31,6 +37,7 @@ from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 
 from repro.exceptions import InvalidParameterError
 from repro.local_model.batched import BatchedScheduler, NetworkLike
+from repro.local_model.compiled import CompiledScheduler
 from repro.local_model.fast_network import FastNetwork
 from repro.local_model.scheduler import Scheduler
 from repro.local_model.vectorized import VectorizedScheduler
@@ -42,6 +49,7 @@ _ENGINES: Dict[str, Callable[..., SchedulerLike]] = {
     "reference": Scheduler,
     "batched": BatchedScheduler,
     "vectorized": VectorizedScheduler,
+    "compiled": CompiledScheduler,
 }
 
 _default_engine: str = "batched"

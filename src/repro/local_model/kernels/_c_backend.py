@@ -1,0 +1,205 @@
+"""C/OpenMP kernel backend: builds ``csrc/kernels.c`` on demand via gcc.
+
+The shared library is compiled once per source version -- the artifact name
+embeds a SHA-256 of the C source plus the compile flags, so editing the
+source or flags triggers a rebuild and stale artifacts are simply ignored.
+Artifacts land in ``_build/`` next to this file when writable (gitignored),
+else under the system temp directory, so read-only installs still work.
+
+Loaded through :mod:`ctypes`; every wrapper presents the exact Python
+signature of its ``_loops`` reference, so backends are drop-in
+interchangeable for the adapters and the test suite.
+
+When OpenMP is unavailable the build retries without it (serial kernels,
+still fused); when no C compiler is present :func:`load` returns ``None``
+and the engine falls back per phase.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("csrc") / "kernels.c"
+_CFLAGS = ("-O3", "-std=c99", "-shared", "-fPIC")
+_OPENMP_FLAG = "-fopenmp"
+
+_I64 = ctypes.c_longlong
+_PTR = ctypes.c_void_p
+
+
+def _build_dir() -> Path:
+    local = Path(__file__).with_name("_build")
+    try:
+        local.mkdir(exist_ok=True)
+        probe = local / ".writable"
+        probe.touch()
+        probe.unlink()
+        return local
+    except OSError:
+        fallback = Path(tempfile.gettempdir()) / "repro-kernels"
+        fallback.mkdir(exist_ok=True)
+        return fallback
+
+
+def _compiler() -> Optional[str]:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _compile(source: Path, compiler: str, use_openmp: bool) -> Optional[Path]:
+    flags = list(_CFLAGS) + ([_OPENMP_FLAG] if use_openmp else [])
+    tag = hashlib.sha256(
+        source.read_bytes() + " ".join(flags).encode()
+    ).hexdigest()[:16]
+    artifact = _build_dir() / f"kernels-{tag}.so"
+    if artifact.exists():
+        return artifact
+    scratch = artifact.with_suffix(f".{os.getpid()}.tmp")
+    command = [compiler, *flags, str(source), "-o", str(scratch)]
+    try:
+        subprocess.run(
+            command, check=True, capture_output=True, text=True, timeout=120
+        )
+    except (subprocess.SubprocessError, OSError):
+        scratch.unlink(missing_ok=True)
+        return None
+    os.replace(scratch, artifact)  # atomic under concurrent builders
+    return artifact
+
+
+def _as_i64(array: np.ndarray) -> int:
+    if array.dtype != np.int64 or not array.flags.c_contiguous:
+        raise ValueError("kernel arrays must be C-contiguous int64")
+    return array.ctypes.data
+
+
+def _as_u8(array: np.ndarray) -> int:
+    if array.dtype != np.uint8 or not array.flags.c_contiguous:
+        raise ValueError("kernel flag arrays must be C-contiguous uint8")
+    return array.ctypes.data
+
+
+class CExtensionBackend:
+    """ctypes facade over the compiled shared library."""
+
+    name = "cext"
+
+    def __init__(self, library: ctypes.CDLL, openmp: bool) -> None:
+        self._lib = library
+        self.openmp = openmp
+        library.repro_max_threads.restype = _I64
+        library.repro_max_threads.argtypes = ()
+        library.repro_set_threads.restype = None
+        library.repro_set_threads.argtypes = (_I64,)
+        for symbol, argtypes in _SIGNATURES.items():
+            handle = getattr(library, symbol)
+            handle.restype = None
+            handle.argtypes = argtypes
+
+    def max_threads(self) -> int:
+        return int(self._lib.repro_max_threads())
+
+    def set_threads(self, count: int) -> None:
+        self._lib.repro_set_threads(int(count))
+
+    # -- kernel wrappers (signatures mirror repro.local_model.kernels._loops) --
+
+    def linial_round(self, indptr, indices, uids, colors, q, num_digits, out):
+        self._lib.linial_round(
+            _as_i64(indptr), _as_i64(indices), _as_i64(uids), _as_i64(colors),
+            len(indptr) - 1, q, num_digits, _as_i64(out),
+        )
+
+    def defective_step(self, indptr, indices, colors, q, num_digits, out):
+        self._lib.defective_step(
+            _as_i64(indptr), _as_i64(indices), _as_i64(colors),
+            len(indptr) - 1, q, num_digits, _as_i64(out),
+        )
+
+    def iter_reduce(self, indptr, indices, colors, palette, target, total_rounds, status):
+        self._lib.iter_reduce(
+            _as_i64(indptr), _as_i64(indices), _as_i64(colors),
+            len(indptr) - 1, palette, target, total_rounds, _as_i64(status),
+        )
+
+    def kw_reduce(self, indptr, indices, colors, k, total_rounds, status):
+        self._lib.kw_reduce(
+            _as_i64(indptr), _as_i64(indices), _as_i64(colors),
+            len(indptr) - 1, k, total_rounds, _as_i64(status),
+        )
+
+    def edge_rank(self, indptr, indices, edge_u, edge_v, sort_rank, codes, has_codes, rank_u, rank_v):
+        self._lib.edge_rank(
+            _as_i64(indptr), _as_i64(indices), _as_i64(edge_u), _as_i64(edge_v),
+            _as_i64(sort_rank), _as_i64(codes), has_codes,
+            len(indptr) - 1, _as_i64(rank_u), _as_i64(rank_v),
+        )
+
+    def luby_free_counts(self, undecided, taken, palette, free_counts):
+        self._lib.luby_free_counts(
+            _as_i64(undecided), len(undecided), _as_u8(taken), palette,
+            _as_i64(free_counts),
+        )
+
+    def luby_candidates(self, lanes, picks, taken, palette, candidate):
+        self._lib.luby_candidates(
+            _as_i64(lanes), len(lanes), _as_i64(picks), _as_u8(taken), palette,
+            _as_i64(candidate),
+        )
+
+    def luby_absorb(self, announce, indptr, indices, final, undecided_mask, taken):
+        self._lib.luby_absorb(
+            _as_i64(announce), len(announce), _as_i64(indptr), _as_i64(indices),
+            _as_i64(final), _as_u8(undecided_mask), _as_u8(taken),
+            taken.shape[1],
+        )
+
+    def luby_resolve(self, undecided, indptr, indices, candidate, taken, keep):
+        self._lib.luby_resolve(
+            _as_i64(undecided), len(undecided), _as_i64(indptr),
+            _as_i64(indices), _as_i64(candidate), _as_u8(taken),
+            taken.shape[1], _as_u8(keep),
+        )
+
+
+_SIGNATURES = {
+    "linial_round": (_PTR, _PTR, _PTR, _PTR, _I64, _I64, _I64, _PTR),
+    "defective_step": (_PTR, _PTR, _PTR, _I64, _I64, _I64, _PTR),
+    "iter_reduce": (_PTR, _PTR, _PTR, _I64, _I64, _I64, _I64, _PTR),
+    "kw_reduce": (_PTR, _PTR, _PTR, _I64, _I64, _I64, _PTR),
+    "edge_rank": (_PTR, _PTR, _PTR, _PTR, _PTR, _PTR, _I64, _I64, _PTR, _PTR),
+    "luby_free_counts": (_PTR, _I64, _PTR, _I64, _PTR),
+    "luby_candidates": (_PTR, _I64, _PTR, _PTR, _I64, _PTR),
+    "luby_absorb": (_PTR, _I64, _PTR, _PTR, _PTR, _PTR, _PTR, _I64),
+    "luby_resolve": (_PTR, _I64, _PTR, _PTR, _PTR, _PTR, _I64, _PTR),
+}
+
+
+def load() -> Optional[CExtensionBackend]:
+    """Build (if needed) and load the C backend; ``None`` when unavailable."""
+    if not _SOURCE.exists():
+        return None
+    compiler = _compiler()
+    if compiler is None:
+        return None
+    for use_openmp in (True, False):
+        artifact = _compile(_SOURCE, compiler, use_openmp)
+        if artifact is None:
+            continue
+        try:
+            library = ctypes.CDLL(str(artifact))
+        except OSError:
+            continue
+        return CExtensionBackend(library, openmp=use_openmp)
+    return None

@@ -1,0 +1,427 @@
+/* Fused CSR kernels for the "compiled" engine.
+ *
+ * Line-by-line transcription of the reference loops in `_loops.py`
+ * (which is the semantic source of truth -- see its docstring for the
+ * conventions and the per-kernel race arguments).  Built on demand by
+ * `_c_backend.py` with `gcc -O3 -fopenmp -shared -fPIC` and loaded via
+ * ctypes; every entry point uses only int64/uint8 pointers and int64
+ * scalars so the ABI stays trivial.
+ *
+ * Python `%` on possibly-negative operands differs from C's: the only
+ * operand here that may be negative is a unique id (non-monotone ids are
+ * allowed, negative ones are not guaranteed absent), so `PYMOD` folds the
+ * remainder back to Python semantics.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+typedef int64_t i64;
+typedef uint8_t u8;
+
+#define PYMOD(a, m) ((((a) % (m)) + (m)) % (m))
+
+void repro_set_threads(i64 n)
+{
+#ifdef _OPENMP
+    if (n > 0)
+        omp_set_num_threads((int)n);
+#else
+    (void)n;
+#endif
+}
+
+i64 repro_max_threads(void)
+{
+#ifdef _OPENMP
+    return (i64)omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+/* Base-q digit rows of `colors - 1`, most significant digit last.  Shared
+ * by the polynomial kernels: extracting digits once per node per round
+ * (instead of once per neighbor-point visit) removes the divisions from
+ * the innermost Horner loops. */
+static i64 *digit_table(const i64 *colors, i64 n, i64 q, i64 num_digits)
+{
+    i64 *table = (i64 *)malloc((size_t)(n * num_digits) * sizeof(i64));
+    if (table == NULL)
+        return NULL;
+#pragma omp parallel for schedule(static)
+    for (i64 v = 0; v < n; v++) {
+        i64 remaining = colors[v] - 1;
+        i64 *row = table + v * num_digits;
+        for (i64 j = 0; j < num_digits; j++) {
+            row[j] = remaining % q;
+            remaining /= q;
+        }
+    }
+    return table;
+}
+
+/* Horner evaluation of one cached digit row at `point`. */
+static inline i64 row_eval(const i64 *row, i64 point, i64 q, i64 num_digits)
+{
+    i64 result = 0;
+    for (i64 j = num_digits - 1; j >= 0; j--)
+        result = (result * point + row[j]) % q;
+    return result;
+}
+
+/* Uncached evaluation for the digit_table out-of-memory path (base >= 2
+ * bounds num_digits by the 63 value bits of i64, so the row fits on the
+ * stack). */
+static i64 slow_eval(i64 value, i64 point, i64 q, i64 num_digits)
+{
+    i64 row[64];
+    for (i64 j = 0; j < num_digits; j++) {
+        row[j] = value % q;
+        value /= q;
+    }
+    return row_eval(row, point, q, num_digits);
+}
+
+void linial_round(const i64 *indptr, const i64 *indices, const i64 *uids,
+                  const i64 *colors, i64 n, i64 q, i64 num_digits, i64 *out)
+{
+    i64 *table = digit_table(colors, n, q, num_digits);
+    if (table == NULL) {
+        for (i64 v = 0; v < n; v++) {
+            i64 own = colors[v] - 1;
+            i64 chosen_point = -1, chosen_value = 0;
+            for (i64 point = 0; point < q && chosen_point < 0; point++) {
+                i64 own_value = slow_eval(own, point, q, num_digits);
+                int ok = 1;
+                for (i64 e = indptr[v]; e < indptr[v + 1]; e++) {
+                    i64 other = colors[indices[e]] - 1;
+                    if (other == own)
+                        continue;
+                    if (slow_eval(other, point, q, num_digits) == own_value) {
+                        ok = 0;
+                        break;
+                    }
+                }
+                if (ok) {
+                    chosen_point = point;
+                    chosen_value = own_value;
+                }
+            }
+            if (chosen_point < 0) {
+                chosen_point = PYMOD(uids[v], q);
+                chosen_value = slow_eval(own, chosen_point, q, num_digits);
+            }
+            out[v] = chosen_point * q + chosen_value + 1;
+        }
+        return;
+    }
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (i64 v = 0; v < n; v++) {
+        i64 own = colors[v] - 1;
+        i64 start = indptr[v], end = indptr[v + 1];
+        const i64 *own_row = table + v * num_digits;
+        i64 chosen_point = -1, chosen_value = 0;
+        for (i64 point = 0; point < q; point++) {
+            i64 own_value = row_eval(own_row, point, q, num_digits);
+            int ok = 1;
+            for (i64 e = start; e < end; e++) {
+                i64 u = indices[e];
+                if (colors[u] - 1 == own)
+                    continue;
+                if (row_eval(table + u * num_digits, point, q, num_digits)
+                    == own_value) {
+                    ok = 0;
+                    break;
+                }
+            }
+            if (ok) {
+                chosen_point = point;
+                chosen_value = own_value;
+                break;
+            }
+        }
+        if (chosen_point < 0) {
+            chosen_point = PYMOD(uids[v], q);
+            chosen_value = row_eval(own_row, chosen_point, q, num_digits);
+        }
+        out[v] = chosen_point * q + chosen_value + 1;
+    }
+    free(table);
+}
+
+void defective_step(const i64 *indptr, const i64 *indices, const i64 *colors,
+                    i64 n, i64 q, i64 num_digits, i64 *out)
+{
+    i64 *table = digit_table(colors, n, q, num_digits);
+    if (table == NULL) {
+        for (i64 v = 0; v < n; v++) {
+            i64 own = colors[v] - 1;
+            i64 best_point = 0, best_value = 0, best_count = -1;
+            for (i64 point = 0; point < q; point++) {
+                i64 own_value = slow_eval(own, point, q, num_digits);
+                i64 count = 0;
+                for (i64 e = indptr[v]; e < indptr[v + 1]; e++) {
+                    i64 other = colors[indices[e]] - 1;
+                    if (other == own)
+                        continue;
+                    if (slow_eval(other, point, q, num_digits) == own_value)
+                        count++;
+                }
+                if (best_count < 0 || count < best_count) {
+                    best_point = point;
+                    best_value = own_value;
+                    best_count = count;
+                    if (count == 0)
+                        break;
+                }
+            }
+            out[v] = best_point * q + best_value + 1;
+        }
+        return;
+    }
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (i64 v = 0; v < n; v++) {
+        i64 own = colors[v] - 1;
+        i64 start = indptr[v], end = indptr[v + 1];
+        const i64 *own_row = table + v * num_digits;
+        i64 best_point = 0, best_value = 0, best_count = -1;
+        for (i64 point = 0; point < q; point++) {
+            i64 own_value = row_eval(own_row, point, q, num_digits);
+            i64 count = 0;
+            for (i64 e = start; e < end; e++) {
+                i64 u = indices[e];
+                if (colors[u] - 1 == own)
+                    continue;
+                if (row_eval(table + u * num_digits, point, q, num_digits)
+                    == own_value)
+                    count++;
+            }
+            if (best_count < 0 || count < best_count) {
+                best_point = point;
+                best_value = own_value;
+                best_count = count;
+                if (count == 0)
+                    break;
+            }
+        }
+        out[v] = best_point * q + best_value + 1;
+    }
+    free(table);
+}
+
+void iter_reduce(const i64 *indptr, const i64 *indices, i64 *colors, i64 n,
+                 i64 palette, i64 target, i64 total_rounds, i64 *status)
+{
+    for (i64 round_index = 1; round_index <= total_rounds; round_index++) {
+        i64 active = palette - round_index + 1;
+#pragma omp parallel
+        {
+            u8 *taken = (u8 *)malloc((size_t)target);
+#pragma omp for schedule(dynamic, 2048)
+            for (i64 v = 0; v < n; v++) {
+                if (colors[v] != active)
+                    continue;
+                memset(taken, 0, (size_t)target);
+                for (i64 e = indptr[v]; e < indptr[v + 1]; e++) {
+                    i64 c = colors[indices[e]];
+                    if (c >= 1 && c <= target)
+                        taken[c - 1] = 1;
+                }
+                i64 replacement = -1;
+                for (i64 c = 0; c < target; c++) {
+                    if (!taken[c]) {
+                        replacement = c;
+                        break;
+                    }
+                }
+                if (replacement < 0)
+                    status[0] = 1;
+                else
+                    colors[v] = replacement + 1;
+            }
+            free(taken);
+        }
+        if (status[0] != 0)
+            return;
+    }
+}
+
+void kw_reduce(const i64 *indptr, const i64 *indices, i64 *colors, i64 n,
+               i64 k, i64 total_rounds, i64 *status)
+{
+    i64 block_width = 2 * k;
+    /* Blocks and offsets are materialized once and maintained across
+     * rounds (divisions happen only here and at compactions, not every
+     * round); a neighbor's maintained pair is read under the same benign
+     * race argument as its color -- see `_loops.py`. */
+    i64 *blocks = (i64 *)malloc((size_t)n * sizeof(i64));
+    i64 *offsets = (i64 *)malloc((size_t)n * sizeof(i64));
+    if (blocks == NULL || offsets == NULL) {
+        free(blocks);
+        free(offsets);
+        status[0] = 2; /* out of memory: the wrapper falls back to numpy */
+        return;
+    }
+#pragma omp parallel for schedule(static)
+    for (i64 v = 0; v < n; v++) {
+        blocks[v] = (colors[v] - 1) / block_width;
+        offsets[v] = (colors[v] - 1) % block_width;
+    }
+    for (i64 round_index = 1; round_index <= total_rounds; round_index++) {
+        i64 step = (round_index - 1) % k;
+#pragma omp parallel
+        {
+            u8 *taken = (u8 *)malloc((size_t)k);
+#pragma omp for schedule(dynamic, 2048)
+            for (i64 v = 0; v < n; v++) {
+                if (offsets[v] != k + step)
+                    continue;
+                i64 block = blocks[v];
+                memset(taken, 0, (size_t)k);
+                for (i64 e = indptr[v]; e < indptr[v + 1]; e++) {
+                    i64 u = indices[e];
+                    if (blocks[u] != block)
+                        continue;
+                    i64 neighbor_offset = offsets[u];
+                    if (neighbor_offset < k)
+                        taken[neighbor_offset] = 1;
+                }
+                i64 replacement = -1;
+                for (i64 o = 0; o < k; o++) {
+                    if (!taken[o]) {
+                        replacement = o;
+                        break;
+                    }
+                }
+                if (replacement < 0) {
+                    status[0] = 1;
+                } else {
+                    colors[v] = block * block_width + replacement + 1;
+                    offsets[v] = replacement;
+                }
+            }
+            free(taken);
+        }
+        if (status[0] != 0)
+            break;
+        if (step == k - 1) {
+#pragma omp parallel for schedule(static)
+            for (i64 v = 0; v < n; v++) {
+                colors[v] = blocks[v] * k + offsets[v] + 1;
+                blocks[v] = (colors[v] - 1) / block_width;
+                offsets[v] = (colors[v] - 1) % block_width;
+            }
+        }
+    }
+    free(blocks);
+    free(offsets);
+}
+
+void edge_rank(const i64 *indptr, const i64 *indices, const i64 *edge_u,
+               const i64 *edge_v, const i64 *sort_rank, const i64 *codes,
+               i64 has_codes, i64 n, i64 *rank_u, i64 *rank_v)
+{
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (i64 x = 0; x < n; x++) {
+        i64 u = edge_u[x], v = edge_v[x];
+        i64 own_rank = sort_rank[x];
+        i64 count_u = 0, count_v = 0;
+        for (i64 e = indptr[x]; e < indptr[x + 1]; e++) {
+            i64 y = indices[e];
+            if (has_codes && codes[y] != codes[x])
+                continue;
+            if (sort_rank[y] >= own_rank)
+                continue;
+            i64 nu = edge_u[y], nv = edge_v[y];
+            if (nu == u || nv == u)
+                count_u++;
+            if (nu == v || nv == v)
+                count_v++;
+        }
+        rank_u[x] = count_u;
+        rank_v[x] = count_v;
+    }
+}
+
+void luby_free_counts(const i64 *undecided, i64 m, const u8 *taken,
+                      i64 palette, i64 *free_counts)
+{
+#pragma omp parallel for schedule(static)
+    for (i64 i = 0; i < m; i++) {
+        const u8 *row = taken + undecided[i] * palette;
+        i64 count = 0;
+        for (i64 c = 0; c < palette; c++)
+            if (!row[c])
+                count++;
+        free_counts[i] = count;
+    }
+}
+
+void luby_candidates(const i64 *lanes, i64 m, const i64 *picks,
+                     const u8 *taken, i64 palette, i64 *candidate)
+{
+#pragma omp parallel for schedule(static)
+    for (i64 i = 0; i < m; i++) {
+        i64 v = lanes[i];
+        const u8 *row = taken + v * palette;
+        i64 pick = picks[i], seen = 0;
+        for (i64 c = 0; c < palette; c++) {
+            if (!row[c]) {
+                if (seen == pick) {
+                    candidate[v] = c + 1;
+                    break;
+                }
+                seen++;
+            }
+        }
+    }
+}
+
+void luby_absorb(const i64 *announce, i64 m, const i64 *indptr,
+                 const i64 *indices, const i64 *final_color,
+                 const u8 *undecided_mask, u8 *taken, i64 palette)
+{
+#pragma omp parallel for schedule(dynamic, 256)
+    for (i64 i = 0; i < m; i++) {
+        i64 a = announce[i];
+        i64 c = final_color[a] - 1;
+        for (i64 e = indptr[a]; e < indptr[a + 1]; e++) {
+            i64 neighbor = indices[e];
+            if (undecided_mask[neighbor])
+                taken[neighbor * palette + c] = 1;
+        }
+    }
+}
+
+void luby_resolve(const i64 *undecided, i64 m, const i64 *indptr,
+                  const i64 *indices, const i64 *candidate, const u8 *taken,
+                  i64 palette, u8 *keep)
+{
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (i64 i = 0; i < m; i++) {
+        i64 v = undecided[i];
+        i64 c = candidate[v];
+        if (c == 0) {
+            keep[i] = 0;
+            continue;
+        }
+        u8 ok = 1;
+        if (taken[v * palette + c - 1]) {
+            ok = 0;
+        } else {
+            for (i64 e = indptr[v]; e < indptr[v + 1]; e++) {
+                if (candidate[indices[e]] == c) {
+                    ok = 0;
+                    break;
+                }
+            }
+        }
+        keep[i] = ok;
+    }
+}

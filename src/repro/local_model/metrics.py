@@ -9,7 +9,7 @@ records a per-phase breakdown that the benchmark harnesses report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -54,6 +54,17 @@ class RunMetrics:
         engines, and for fully vectorized runs).  Purely informational: it
         is excluded from equality and from the engine-equivalence contract,
         which compares :meth:`summary` and the per-phase breakdown.
+    compiled_fallback_phase_names:
+        Names of the phases the compiled engine dispatched back to the plain
+        numpy ``vector_run`` because no kernel backend was available, in
+        execution order (empty for the other engines).  Like
+        ``fallback_phase_names`` it is informational only and excluded from
+        equality.
+    phase_seconds:
+        Wall-clock seconds per phase name, accumulated across executions of
+        the same phase (recursion levels re-run phases under one name).
+        Populated by every engine; excluded from equality because timings
+        are machine- and run-dependent.
     """
 
     rounds: int = 0
@@ -62,6 +73,10 @@ class RunMetrics:
     max_message_words: int = 0
     phases: List[PhaseMetrics] = field(default_factory=list)
     fallback_phase_names: List[str] = field(default_factory=list, compare=False)
+    compiled_fallback_phase_names: List[str] = field(
+        default_factory=list, compare=False
+    )
+    phase_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
 
     def add_phase(self, phase: PhaseMetrics) -> None:
         """Fold one phase's metrics into the aggregate."""
@@ -71,11 +86,18 @@ class RunMetrics:
         self.total_words += phase.total_words
         self.max_message_words = max(self.max_message_words, phase.max_message_words)
 
+    def add_phase_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time for one execution of phase ``name``."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
     def merge(self, other: "RunMetrics") -> None:
         """Fold another run's metrics (all of its phases) into this one."""
         for phase in other.phases:
             self.add_phase(phase)
         self.fallback_phase_names.extend(other.fallback_phase_names)
+        self.compiled_fallback_phase_names.extend(other.compiled_fallback_phase_names)
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase_seconds(name, seconds)
         if not other.phases:
             # The other run may carry only aggregate values (e.g. analytic
             # adjustments); account them as an anonymous phase.

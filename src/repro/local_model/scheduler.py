@@ -10,6 +10,7 @@ quantities (rounds, message sizes) the paper's theorems bound.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Mapping, Optional, Union
 
@@ -120,8 +121,10 @@ class Scheduler:
         metrics = RunMetrics()
         phases = algorithm.phases if isinstance(algorithm, PhasePipeline) else (algorithm,)
         for phase in phases:
+            started = time.perf_counter()
             phase_metrics = self._run_single_phase(phase, nodes, views)
             metrics.add_phase(phase_metrics)
+            metrics.add_phase_seconds(phase_metrics.name, time.perf_counter() - started)
 
         return PhaseResult(
             states={node_id: node.state for node_id, node in nodes.items()},

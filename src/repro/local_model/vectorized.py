@@ -29,6 +29,7 @@ all nodes halt together) is fully described by its round count.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -84,6 +85,13 @@ class VectorContext:
         self.round_limit = round_limit
         self.phase_name = phase_name
         self._views_provider = views_provider
+        # Dict-backed runs: int64 mirrors of columns already gathered, so a
+        # kernel reading the same key twice pays the per-node Python
+        # iteration once.  Bypassed entirely (and discarded) the moment a
+        # caller takes the raw ``states`` escape hatch, because from then on
+        # the dicts can change behind the mirror's back.
+        self._column_cache: Dict[str, np.ndarray] = {}
+        self._column_cache_enabled = True
 
     # ------------------------------------------------------------------ #
     # State columns
@@ -101,6 +109,8 @@ class VectorContext:
                 f"phase {self.phase_name!r} asked for per-node state dicts on a "
                 "columnar (StateTable) run; use the VectorContext column accessors"
             )
+        self._column_cache_enabled = False
+        self._column_cache.clear()
         return self._states
 
     @property
@@ -113,14 +123,27 @@ class VectorContext:
         return self._views_provider()
 
     def column(self, key: str) -> np.ndarray:
-        """Gather ``state[key]`` over all nodes into a fresh ``int64`` array."""
+        """Gather ``state[key]`` over all nodes into a fresh ``int64`` array.
+
+        On the columnar backing this is a :class:`StateTable` column read.
+        On the dict backing the context keeps an int64 mirror per key: the
+        per-node ``np.fromiter`` gather runs at most once per key, and a
+        column the kernel itself wrote through :meth:`write_column` is
+        served from the mirror without ever re-touching the dicts.
+        """
         if self.table is not None:
             return self.table.get_ints(key)
-        return np.fromiter(
+        cached = self._column_cache.get(key)
+        if cached is not None:
+            return cached.copy()
+        values = np.fromiter(
             (state[key] for state in self._states),
             dtype=np.int64,
             count=len(self._states),
         )
+        if self._column_cache_enabled:
+            self._column_cache[key] = values.copy()
+        return values
 
     def unique_ids(self) -> np.ndarray:
         """The nodes' distinct identity numbers (``int64``, dense order)."""
@@ -133,6 +156,8 @@ class VectorContext:
             return
         for state, value in zip(self._states, values.tolist()):
             state[key] = value
+        if self._column_cache_enabled:
+            self._column_cache[key] = np.asarray(values, dtype=np.int64).copy()
 
     def write_value(self, key: str, value: Any) -> None:
         """Write the same (immutable) value into ``state[key]`` everywhere."""
@@ -144,6 +169,12 @@ class VectorContext:
             return
         for state in self._states:
             state[key] = value
+        if self._column_cache_enabled and type(value) is int:
+            self._column_cache[key] = np.full(
+                len(self._states), value, dtype=np.int64
+            )
+        else:
+            self._column_cache.pop(key, None)
 
     def write_objects(self, key: str, values: List[Any]) -> None:
         """Write one (arbitrary) Python value per node into ``state[key]``."""
@@ -152,6 +183,7 @@ class VectorContext:
             return
         for state, value in zip(self._states, values):
             state[key] = value
+        self._column_cache.pop(key, None)
 
     def read_values(self, key: str) -> List[Any]:
         """Gather ``state[key]`` over all nodes as plain Python values."""
@@ -166,6 +198,7 @@ class VectorContext:
             return
         for state, value in zip(self._states, values):
             state[key] = value
+        self._column_cache.pop(key, None)
 
     def copy_key(self, source_key: str, target_key: str) -> None:
         """``state[target] = state[source]`` on every node, kind-preserving."""
@@ -174,6 +207,11 @@ class VectorContext:
             return
         for state in self._states:
             state[target_key] = state[source_key]
+        cached = self._column_cache.get(source_key)
+        if cached is not None and self._column_cache_enabled:
+            self._column_cache[target_key] = cached.copy()
+        else:
+            self._column_cache.pop(target_key, None)
 
     # ------------------------------------------------------------------ #
     # Adjacency gathers
@@ -364,8 +402,15 @@ class VectorizedScheduler(BatchedScheduler):
             table=table,
             views_provider=views_provider,
         )
-        vector_run(context)
+        self._dispatch_vector_run(phase, vector_run, context)
         return phase_metrics
+
+    def _dispatch_vector_run(
+        self, phase: SynchronousPhase, vector_run, context: VectorContext
+    ) -> None:
+        """Execute one vectorized phase.  The compiled engine's override
+        routes the phase to a fused kernel when one is registered."""
+        vector_run(context)
 
     def _execute(
         self,
@@ -386,6 +431,7 @@ class VectorizedScheduler(BatchedScheduler):
 
         metrics = RunMetrics()
         for phase, vector_run in plan:
+            started = time.perf_counter()
             if vector_run is None:
                 phase_metrics = self._run_single_phase(
                     phase, states, views_provider()
@@ -396,6 +442,7 @@ class VectorizedScheduler(BatchedScheduler):
                     phase, vector_run, states=states, views_provider=views_provider
                 )
             metrics.add_phase(phase_metrics)
+            metrics.add_phase_seconds(phase_metrics.name, time.perf_counter() - started)
         return metrics
 
     def run_table(
@@ -431,6 +478,7 @@ class VectorizedScheduler(BatchedScheduler):
         metrics = RunMetrics()
         states: Optional[List[Dict[str, Any]]] = None
         for phase, vector_run in plan:
+            started = time.perf_counter()
             if vector_run is None:
                 if states is None:
                     states = table.to_dicts()
@@ -446,6 +494,7 @@ class VectorizedScheduler(BatchedScheduler):
                     phase, vector_run, table=table, views_provider=views_provider
                 )
             metrics.add_phase(phase_metrics)
+            metrics.add_phase_seconds(phase_metrics.name, time.perf_counter() - started)
         if states is not None:
             table = StateTable.from_dicts(states)
         return table, metrics

@@ -6,10 +6,11 @@ calibrated offline by ``benchmarks/bench_portfolio.py`` and persisted to
 benchmark records.
 
 * **Engine** — end-to-end seconds per CSR entry for the batched per-node
-  path versus the vectorized kernels (which pay a fixed setup overhead but
-  a far smaller per-entry cost).  The crossover is what flips the engine
-  decision from the ``"batched"`` default to ``"vectorized"`` on large
-  instances.
+  path versus the vectorized kernels versus the compiled kernel backend
+  (the latter two pay a fixed setup overhead but a far smaller per-entry
+  cost).  The crossover is what flips the engine decision from the
+  ``"batched"`` default to ``"vectorized"`` — or to ``"compiled"``, when
+  the machine actually resolved a kernel backend — on large instances.
 * **Route** — seconds per line-graph CSR entry for the direct
   (Theorem 5.5) versus the Lemma 5.2 simulation route of ``color_edges``.
 * **Rounds** — one fitted multiplier per Theorem 4.8 quality preset on top
@@ -43,13 +44,15 @@ QUALITY_ORDER = ("linear", "subpolynomial", "superlinear")
 #: machine.  Kept in sync by the benchmark's ``--record`` run.
 DEFAULT_MODEL = {
     "engine": {
-        "batched_us_per_entry": 5.6931,
-        "vectorized_us_per_entry": 0.645,
-        "vectorized_overhead_us": 7759.3,
+        "batched_us_per_entry": 4.7111,
+        "vectorized_us_per_entry": 0.6881,
+        "vectorized_overhead_us": 10848.0,
+        "compiled_us_per_entry": 0.5691,
+        "compiled_overhead_us": 9199.9,
     },
     "route": {
-        "direct_us_per_line_entry": 0.4853,
-        "simulation_us_per_line_entry": 0.5723,
+        "direct_us_per_line_entry": 0.6334,
+        "simulation_us_per_line_entry": 0.4995,
     },
     "rounds": {
         "linear": {"coeff": 15.238, "const": 0.0},
@@ -137,17 +140,49 @@ class CostModel:
         """
         if engine == "batched":
             return self.engine["batched_us_per_entry"] * entries * 1e-6
-        if engine == "vectorized":
-            return (
-                self.engine["vectorized_overhead_us"]
-                + self.engine["vectorized_us_per_entry"] * entries
-            ) * 1e-6
+        if engine in ("vectorized", "compiled"):
+            overhead = self.engine.get(f"{engine}_overhead_us")
+            slope = self.engine.get(f"{engine}_us_per_entry")
+            if overhead is None or slope is None:
+                raise InvalidParameterError(
+                    f"cost model has no coefficients for engine {engine!r}"
+                )
+            return (overhead + slope * entries) * 1e-6
         raise InvalidParameterError(f"cost model has no engine {engine!r}")
 
-    def choose_engine(self, entries: int) -> str:
-        batched = self.predict_engine_seconds("batched", entries)
-        vectorized = self.predict_engine_seconds("vectorized", entries)
-        return "vectorized" if vectorized < batched else "batched"
+    def has_engine(self, engine: str) -> bool:
+        """Whether this model carries coefficients for ``engine``."""
+        if engine == "batched":
+            return "batched_us_per_entry" in self.engine
+        return (
+            f"{engine}_us_per_entry" in self.engine
+            and f"{engine}_overhead_us" in self.engine
+        )
+
+    def choose_engine(
+        self, entries: int, compiled_available: Optional[bool] = None
+    ) -> str:
+        """The cheapest engine for ``entries`` CSR entries.
+
+        ``compiled_available`` gates the ``"compiled"`` candidate on whether
+        a kernel backend actually resolved on this machine; ``None`` (the
+        default) asks :mod:`repro.local_model.kernels` directly, so a
+        numba-less, compiler-less install never gets steered onto an engine
+        that would silently run the numpy fallback with the same cost as
+        ``"vectorized"`` plus dispatch overhead.
+        """
+        candidates = ["batched", "vectorized"]
+        if self.has_engine("compiled"):
+            if compiled_available is None:
+                from repro.local_model import kernels
+
+                compiled_available = kernels.get_backend() is not None
+            if compiled_available:
+                candidates.append("compiled")
+        # Stable under ties: earlier candidates (simpler engines) win.
+        return min(
+            candidates, key=lambda name: self.predict_engine_seconds(name, entries)
+        )
 
     def predict_route_seconds(self, route: str, line_entries: int) -> float:
         key = f"{route}_us_per_line_entry"

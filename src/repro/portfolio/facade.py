@@ -34,6 +34,7 @@ from repro.baselines.panconesi_rizzi import panconesi_rizzi_edge_coloring
 from repro.core.edge_coloring import color_edges as core_color_edges
 from repro.core.legal_coloring import color_vertices as core_color_vertices
 from repro.exceptions import InvalidParameterError
+from repro.local_model import kernels
 from repro.local_model.fast_network import fast_view
 from repro.portfolio.cost_model import CostModel
 from repro.portfolio.result import PortfolioDecision, PortfolioResult
@@ -65,13 +66,27 @@ def _decide_engine(model: CostModel, entries: int, override: Optional[str]):
         "engine_batched_seconds": model.predict_engine_seconds("batched", entries),
         "engine_vectorized_seconds": model.predict_engine_seconds("vectorized", entries),
     }
+    backend = kernels.backend_name()
+    if model.has_engine("compiled"):
+        predicted["engine_compiled_seconds"] = model.predict_engine_seconds(
+            "compiled", entries
+        )
     if override is not None:
         return override, "engine pinned by caller", predicted
-    engine = model.choose_engine(entries)
+    engine = model.choose_engine(entries, compiled_available=backend is not None)
     reason = (
         f"predicted {predicted['engine_vectorized_seconds']:.4f}s vectorized vs "
         f"{predicted['engine_batched_seconds']:.4f}s batched on {entries} CSR entries"
     )
+    if "engine_compiled_seconds" in predicted:
+        reason += (
+            f"; compiled predicted {predicted['engine_compiled_seconds']:.4f}s "
+            + (
+                f"on kernel backend {backend!r}"
+                if backend is not None
+                else "but no kernel backend resolved"
+            )
+        )
     return engine, reason, predicted
 
 
@@ -135,7 +150,7 @@ def color_graph(
         ``"legal-color"`` or ``"luby"`` to bypass the algorithm choice.
     engine:
         Execution engine override (``"reference"`` / ``"batched"`` /
-        ``"vectorized"``).
+        ``"vectorized"`` / ``"compiled"``).
     epsilon:
         Exponent knob forwarded to the Legal-Color presets.
     seed:
@@ -205,6 +220,8 @@ def color_graph(
         predicted=predicted,
         overrides=overrides,
         model_source=model.source,
+        kernel_backend=kernels.backend_name(),
+        kernel_threads=kernels.get_num_threads(),
     )
     return PortfolioResult(
         colors=raw.colors,
@@ -323,6 +340,8 @@ def color_edges(
         predicted=predicted,
         overrides=overrides,
         model_source=model.source,
+        kernel_backend=kernels.backend_name(),
+        kernel_threads=kernels.get_num_threads(),
     )
     return PortfolioResult(
         colors=raw.edge_colors,

@@ -20,7 +20,11 @@ class PortfolioDecision:
     ``"quality"``, ``"route"``) to a one-line explanation; ``predicted``
     holds the cost-model numbers (seconds / rounds) the choice was based
     on; ``overrides`` lists the knobs the caller pinned explicitly, which
-    the portfolio passed through untouched.
+    the portfolio passed through untouched.  ``kernel_backend`` /
+    ``kernel_threads`` record what the compiled engine would run on (the
+    resolved provider name and its thread count) — populated whether or not
+    the compiled engine was chosen, so a decision record always says *why*
+    ``"compiled"`` was or was not on the table.
     """
 
     algorithm: str
@@ -31,6 +35,8 @@ class PortfolioDecision:
     predicted: Mapping[str, float] = field(default_factory=dict)
     overrides: Tuple[str, ...] = ()
     model_source: str = "defaults"
+    kernel_backend: Optional[str] = None
+    kernel_threads: int = 1
 
     def is_default(self) -> bool:
         """Whether the chosen (engine, quality, route) is the default triple.
@@ -77,6 +83,16 @@ class PortfolioResult:
     def edge_colors(self) -> Dict[Hashable, int]:
         """Alias of ``colors`` for edge-coloring consumers."""
         return self.colors
+
+    @property
+    def kernel_backend(self) -> Optional[str]:
+        """The resolved kernel provider (``decision.kernel_backend``)."""
+        return self.decision.kernel_backend
+
+    @property
+    def kernel_threads(self) -> int:
+        """The kernel thread count (``decision.kernel_threads``)."""
+        return self.decision.kernel_threads
 
     def __getattr__(self, name: str):
         raw = object.__getattribute__(self, "raw")

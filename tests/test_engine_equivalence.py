@@ -1,13 +1,20 @@
-"""Batched engine == vectorized engine == reference scheduler, bit for bit.
+"""Batched == vectorized == compiled engine == reference scheduler, bit for bit.
 
-The batched round engine (:class:`repro.local_model.BatchedScheduler`) and
-the vectorized color-phase engine
-(:class:`repro.local_model.VectorizedScheduler`) are only trustworthy because
-these tests pin them to the reference scheduler: for every core algorithm,
-over a grid of graphs and seeds, all engines must produce *identical* final
-colorings and *identical* metrics (rounds, messages, total words, maximum
-message size -- per phase, not just in aggregate).  Any divergence, however
-small, is a bug in one of the engines.
+The batched round engine (:class:`repro.local_model.BatchedScheduler`), the
+vectorized color-phase engine
+(:class:`repro.local_model.VectorizedScheduler`) and the compiled
+kernel-dispatch engine (:class:`repro.local_model.CompiledScheduler`) are
+only trustworthy because these tests pin them to the reference scheduler:
+for every core algorithm, over a grid of graphs and seeds, all engines must
+produce *identical* final colorings and *identical* metrics (rounds,
+messages, total words, maximum message size -- per phase, not just in
+aggregate).  Any divergence, however small, is a bug in one of the engines.
+
+The compiled engine is additionally exercised in *both* of its
+configurations: with whatever kernel backend the machine resolves (numba or
+the C extension), and with dispatch force-disabled so every kernel-eligible
+phase takes the numpy fallback (the ``no_kernel_backend`` fixture) -- the
+results must be identical either way.
 """
 
 from __future__ import annotations
@@ -27,9 +34,11 @@ from repro.core.defective_coloring import defective_color_pipeline
 from repro.graphs.line_graph import line_graph_network
 from repro.local_model import (
     BatchedScheduler,
+    CompiledScheduler,
     Network,
     Scheduler,
     VectorizedScheduler,
+    kernels,
     make_scheduler,
     use_engine,
 )
@@ -37,13 +46,23 @@ from repro.primitives.color_reduction import delta_plus_one_pipeline
 from repro.primitives.kuhn_defective import defective_coloring_pipeline
 
 #: The engines whose outputs must be indistinguishable from the reference.
-FAST_ENGINES = ("batched", "vectorized")
+FAST_ENGINES = ("batched", "vectorized", "compiled")
 
 ENGINE_CLASSES = {
     "reference": Scheduler,
     "batched": BatchedScheduler,
     "vectorized": VectorizedScheduler,
+    "compiled": CompiledScheduler,
 }
+
+
+@pytest.fixture(name="no_kernel_backend")
+def _no_kernel_backend(monkeypatch):
+    """Force the compiled engine onto its numpy fallback for one test."""
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "none")
+    kernels.reset()
+    yield
+    kernels.reset()
 
 
 def metrics_fingerprint(metrics):
@@ -85,7 +104,7 @@ class TestSchedulerLevelEquivalence:
 
     def _compare(self, network: Network, pipeline, initial_states=None):
         reference = Scheduler(network).run(pipeline, initial_states=initial_states)
-        for engine_cls in (BatchedScheduler, VectorizedScheduler):
+        for engine_cls in (BatchedScheduler, VectorizedScheduler, CompiledScheduler):
             candidate = engine_cls(network).run(
                 pipeline, initial_states=initial_states
             )
@@ -427,7 +446,7 @@ class TestEngineSelection:
         assert switched.colors == baseline.colors
 
     @pytest.mark.parametrize(
-        "engine_cls", [BatchedScheduler, VectorizedScheduler]
+        "engine_cls", [BatchedScheduler, VectorizedScheduler, CompiledScheduler]
     )
     def test_non_neighbor_message_rejected(self, triangle, engine_cls):
         from repro.exceptions import SimulationError
@@ -446,7 +465,7 @@ class TestEngineSelection:
             engine_cls(triangle).run(Misbehaving())
 
     @pytest.mark.parametrize(
-        "engine_cls", [BatchedScheduler, VectorizedScheduler]
+        "engine_cls", [BatchedScheduler, VectorizedScheduler, CompiledScheduler]
     )
     def test_round_limit_enforced(self, triangle, engine_cls):
         from repro.exceptions import RoundLimitExceeded
@@ -496,3 +515,93 @@ class TestEngineSelection:
         assert metrics_fingerprint(vectorized.metrics) == metrics_fingerprint(
             reference.metrics
         )
+
+
+class TestCompiledEngineDispatch:
+    """Compiled-engine specifics: backend resolution and fallback accounting."""
+
+    def test_zero_compiled_fallbacks_with_backend(self, small_regular):
+        if kernels.get_backend() is None:
+            pytest.skip(f"no kernel backend: {kernels.backend_reason()}")
+        scheduler = CompiledScheduler(small_regular)
+        assert scheduler.kernel_backend_name in ("numba", "cext")
+        result = color_vertices(small_regular, c=4, engine="compiled")
+        assert result.metrics.compiled_fallback_phase_names == []
+        assert result.metrics.fallback_phase_names == []
+
+    def test_backend_absent_counts_fallbacks_and_matches(
+        self, small_regular, no_kernel_backend
+    ):
+        scheduler = CompiledScheduler(small_regular)
+        assert scheduler.kernel_backend_name is None
+        baseline = color_vertices(small_regular, c=4, engine="vectorized")
+        result = color_vertices(small_regular, c=4, engine="compiled")
+        assert result.colors == baseline.colors
+        assert metrics_fingerprint(result.metrics) == metrics_fingerprint(
+            baseline.metrics
+        )
+        # Every kernel-eligible phase that executed is accounted for, once.
+        assert result.metrics.compiled_fallback_phase_names
+        assert result.metrics.fallback_phase_names == []
+
+    def test_backend_absent_end_to_end_reference_identity(
+        self, grid_network, no_kernel_backend
+    ):
+        c = max(1, grid_network.max_degree)
+        reference = color_vertices(grid_network, c=c, engine="reference")
+        candidate = color_vertices(grid_network, c=c, engine="compiled")
+        assert candidate.colors == reference.colors
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+    def test_backend_absent_luby_matches(self, no_kernel_backend):
+        network = graphs.random_regular(18, 4, seed=6)
+        reference = luby_edge_coloring(network, seed=3, engine="reference")
+        candidate = luby_edge_coloring(network, seed=3, engine="compiled")
+        assert candidate.edge_colors == reference.edge_colors
+        assert metrics_fingerprint(candidate.metrics) == metrics_fingerprint(
+            reference.metrics
+        )
+
+    def test_unknown_backend_request_degrades_to_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "warp-drive")
+        kernels.reset()
+        try:
+            assert kernels.get_backend() is None
+            assert "warp-drive" in kernels.backend_reason()
+        finally:
+            kernels.reset()
+
+    def test_thread_count_queries(self):
+        # With a backend the count is a positive integer; without, exactly 1.
+        count = kernels.get_num_threads()
+        assert count >= 1
+        if kernels.get_backend() is not None:
+            kernels.set_num_threads(1)
+            assert kernels.get_num_threads() == 1
+            kernels.set_num_threads(count)
+
+
+class TestPhaseSecondsAccounting:
+    """Satellite: every engine records wall-clock per phase in RunMetrics."""
+
+    @pytest.mark.parametrize("engine", ("reference",) + FAST_ENGINES)
+    def test_phase_seconds_cover_all_phases(self, small_regular, engine):
+        result = color_vertices(small_regular, c=4, engine=engine)
+        seconds = result.metrics.phase_seconds
+        assert seconds  # populated for every engine
+        assert all(value >= 0.0 for value in seconds.values())
+        # Every phase that contributed metrics contributed wall time too.
+        assert {p.name for p in result.metrics.phases} <= set(seconds)
+
+    def test_merge_accumulates_phase_seconds(self):
+        from repro.local_model import RunMetrics
+
+        first = RunMetrics()
+        first.add_phase_seconds("linial", 0.25)
+        second = RunMetrics()
+        second.add_phase_seconds("linial", 0.5)
+        second.add_phase_seconds("kw", 1.0)
+        first.merge(second)
+        assert first.phase_seconds == {"linial": 0.75, "kw": 1.0}

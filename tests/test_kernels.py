@@ -1,0 +1,385 @@
+"""The fused kernel backends against the ``_loops`` reference, adversarially.
+
+Every provider the machine can load (the C extension always on CI, numba on
+the legs that install it) is held to the pure-Python reference loops in
+:mod:`repro.local_model.kernels._loops` over a battery of adversarial CSR
+instances: empty graphs, graphs that are nothing *but* isolated nodes,
+empty rows in the middle of the indptr, non-monotone and negative unique
+ids, and palettes small enough to force the rarely-taken fallback branches
+(the Linial ``uid % q`` escape, the iterative reduction's no-free-color
+status).  The resolution machinery itself (env forcing, probe rejection of
+a corrupt backend, adapter registry lookups) is covered at the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.local_model.kernels import _c_backend, _loops, _numba_backend
+from repro.local_model import kernels
+
+
+def _load_backends():
+    loaded = []
+    for module in (_numba_backend, _c_backend):
+        try:
+            backend = module.load()
+        except Exception:
+            backend = None
+        if backend is not None:
+            loaded.append(backend)
+    return loaded
+
+
+BACKENDS = _load_backends()
+
+if not BACKENDS:  # pragma: no cover - only on machines with no compiler
+    pytest.skip(
+        "no kernel backend could be loaded on this machine", allow_module_level=True
+    )
+
+
+@pytest.fixture(params=[b.name for b in BACKENDS])
+def backend(request):
+    for candidate in BACKENDS:
+        if candidate.name == request.param:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def csr_from_edges(n, edges):
+    """Symmetric CSR from an (u, v) edge list; rows may be empty."""
+    neighbors = [[] for _ in range(n)]
+    for u, v in edges:
+        neighbors[u].append(v)
+        neighbors[v].append(u)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    flat = []
+    for v in range(n):
+        row = sorted(neighbors[v])
+        indptr[v + 1] = indptr[v] + len(row)
+        flat.extend(row)
+    return indptr, np.array(flat, dtype=np.int64)
+
+
+def greedy_colors(n, indptr, indices):
+    """A legal 1-based coloring (first-fit) for the stateful kernels."""
+    colors = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        taken = {colors[u] for u in indices[indptr[v] : indptr[v + 1]]}
+        c = 1
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def random_graph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return csr_from_edges(n, edges)
+
+
+#: name -> (indptr, indices, uids).  Non-monotone, duplicated-gap, and
+#: *negative* unique ids throughout (the Linial fallback must reproduce
+#: Python's `%` on negatives).
+INSTANCES = {
+    "empty": (np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64),
+              np.zeros(0, dtype=np.int64)),
+    "all_isolated": (np.zeros(6, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                     np.array([9, -4, 70, 2, 5], dtype=np.int64)),
+    "path_with_holes": (
+        *csr_from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4)]),
+        np.array([10, 3, -57, 2, 9, 40, 1], dtype=np.int64),
+    ),
+    "star_plus_isolated": (
+        *csr_from_edges(9, [(4, v) for v in range(4)] + [(4, 5), (4, 6)]),
+        np.array([3, 14, 15, -9, 2, 6, 53, 5, 8], dtype=np.int64),
+    ),
+    "triangle": (
+        *csr_from_edges(3, [(0, 1), (1, 2), (0, 2)]),
+        np.array([-1, -2, 7], dtype=np.int64),
+    ),
+    "random40": (
+        *random_graph(40, 0.12, seed=5),
+        np.random.default_rng(17).permutation(40).astype(np.int64) * 3 - 20,
+    ),
+}
+
+
+@pytest.fixture(params=sorted(INSTANCES), name="instance")
+def _instance(request):
+    return INSTANCES[request.param]
+
+
+class TestPolynomialKernels:
+    @pytest.mark.parametrize("q,digits", [(2, 2), (5, 2), (5, 3), (11, 1)])
+    def test_linial_round(self, backend, instance, q, digits):
+        indptr, indices, uids = instance
+        n = len(indptr) - 1
+        rng = np.random.default_rng(q * 100 + digits)
+        colors = rng.integers(1, q**digits + 1, size=n).astype(np.int64)
+        expected = np.zeros(n, dtype=np.int64)
+        actual = np.zeros(n, dtype=np.int64)
+        _loops.linial_round(indptr, indices, uids, colors, q, digits, expected)
+        backend.linial_round(indptr, indices, uids, colors, q, digits, actual)
+        assert np.array_equal(expected, actual)
+
+    def test_linial_fallback_branch_matches_python_modulo(self, backend):
+        # q=2 on a triangle with clashing polynomials forces the `uid % q`
+        # escape; the negative uids make C's `%` diverge unless folded.
+        indptr, indices, uids = INSTANCES["triangle"]
+        colors = np.array([1, 2, 3], dtype=np.int64)
+        expected = np.zeros(3, dtype=np.int64)
+        actual = np.zeros(3, dtype=np.int64)
+        _loops.linial_round(indptr, indices, uids, colors, 2, 2, expected)
+        backend.linial_round(indptr, indices, uids, colors, 2, 2, actual)
+        assert np.array_equal(expected, actual)
+
+    @pytest.mark.parametrize("q,digits", [(2, 2), (5, 2), (7, 3)])
+    def test_defective_step(self, backend, instance, q, digits):
+        indptr, indices, _ = instance
+        n = len(indptr) - 1
+        rng = np.random.default_rng(q * 31 + digits)
+        colors = rng.integers(1, q**digits + 1, size=n).astype(np.int64)
+        expected = np.zeros(n, dtype=np.int64)
+        actual = np.zeros(n, dtype=np.int64)
+        _loops.defective_step(indptr, indices, colors, q, digits, expected)
+        backend.defective_step(indptr, indices, colors, q, digits, actual)
+        assert np.array_equal(expected, actual)
+
+
+class TestReductionKernels:
+    def test_iter_reduce(self, backend, instance):
+        indptr, indices, _ = instance
+        n = len(indptr) - 1
+        colors = greedy_colors(n, indptr, indices)
+        palette = int(colors.max()) + 3 if n else 3
+        degree = int(np.diff(indptr).max()) if n else 0
+        target = degree + 1
+        rounds = max(palette - target, 1)
+        expected, actual = colors.copy(), colors.copy()
+        se = np.zeros(1, dtype=np.int64)
+        sa = np.zeros(1, dtype=np.int64)
+        _loops.iter_reduce(indptr, indices, expected, palette, target, rounds, se)
+        backend.iter_reduce(indptr, indices, actual, palette, target, rounds, sa)
+        assert np.array_equal(expected, actual)
+        assert se[0] == sa[0] == 0
+
+    def test_iter_reduce_no_free_color_status(self, backend):
+        # target=1 on a star: the hub has every neighbor on color 1.
+        indptr, indices, _ = INSTANCES["star_plus_isolated"]
+        n = len(indptr) - 1
+        colors = greedy_colors(n, indptr, indices)
+        palette = int(colors.max())
+        expected, actual = colors.copy(), colors.copy()
+        se = np.zeros(1, dtype=np.int64)
+        sa = np.zeros(1, dtype=np.int64)
+        _loops.iter_reduce(indptr, indices, expected, palette, 1, palette - 1, se)
+        backend.iter_reduce(indptr, indices, actual, palette, 1, palette - 1, sa)
+        assert se[0] == sa[0] == 1
+
+    @pytest.mark.parametrize("iterations", [1, 2])
+    def test_kw_reduce(self, backend, instance, iterations):
+        indptr, indices, _ = instance
+        n = len(indptr) - 1
+        base = greedy_colors(n, indptr, indices)
+        degree = int(np.diff(indptr).max()) if n else 0
+        k = degree + 1
+        # Spread the legal coloring across several 2k-blocks so recoloring
+        # *and* compaction rounds both do real work.
+        colors = base + (np.arange(n, dtype=np.int64) % 3) * 2 * k
+        expected, actual = colors.copy(), colors.copy()
+        se = np.zeros(1, dtype=np.int64)
+        sa = np.zeros(1, dtype=np.int64)
+        rounds = k * iterations
+        _loops.kw_reduce(indptr, indices, expected, k, rounds, se)
+        backend.kw_reduce(indptr, indices, actual, k, rounds, sa)
+        assert np.array_equal(expected, actual)
+        assert se[0] == sa[0] == 0
+
+
+class TestEdgeRankKernel:
+    @pytest.mark.parametrize("has_codes", [0, 1])
+    def test_edge_rank(self, backend, instance, has_codes):
+        indptr, indices, _ = instance
+        n = len(indptr) - 1
+        rng = np.random.default_rng(n * 7 + has_codes)
+        edge_u = rng.integers(0, 10, size=n).astype(np.int64)
+        edge_v = rng.integers(0, 10, size=n).astype(np.int64)
+        sort_rank = rng.permutation(n).astype(np.int64)
+        codes = rng.integers(0, 3, size=n).astype(np.int64)
+        expected_u = np.zeros(n, dtype=np.int64)
+        expected_v = np.zeros(n, dtype=np.int64)
+        actual_u = np.zeros(n, dtype=np.int64)
+        actual_v = np.zeros(n, dtype=np.int64)
+        _loops.edge_rank(
+            indptr, indices, edge_u, edge_v, sort_rank, codes, has_codes,
+            expected_u, expected_v,
+        )
+        backend.edge_rank(
+            indptr, indices, edge_u, edge_v, sort_rank, codes, has_codes,
+            actual_u, actual_v,
+        )
+        assert np.array_equal(expected_u, actual_u)
+        assert np.array_equal(expected_v, actual_v)
+
+
+class TestLubyKernels:
+    @pytest.fixture
+    def luby_state(self, instance):
+        indptr, indices, _ = instance
+        n = len(indptr) - 1
+        palette = 5
+        rng = np.random.default_rng(n * 13 + 1)
+        taken = (rng.random((n, palette)) < 0.35).astype(np.uint8)
+        undecided = np.flatnonzero(rng.random(n) < 0.7).astype(np.int64)
+        return indptr, indices, n, palette, taken, undecided
+
+    def test_free_counts(self, backend, luby_state):
+        _, _, n, palette, taken, undecided = luby_state
+        expected = np.zeros(len(undecided), dtype=np.int64)
+        actual = np.zeros(len(undecided), dtype=np.int64)
+        _loops.luby_free_counts(undecided, taken, palette, expected)
+        backend.luby_free_counts(undecided, taken, palette, actual)
+        assert np.array_equal(expected, actual)
+
+    def test_candidates(self, backend, luby_state):
+        _, _, n, palette, taken, undecided = luby_state
+        free = np.zeros(len(undecided), dtype=np.int64)
+        _loops.luby_free_counts(undecided, taken, palette, free)
+        drawing = free > 0
+        lanes = np.ascontiguousarray(undecided[drawing])
+        rng = np.random.default_rng(3)
+        picks = (rng.integers(0, 10, size=len(lanes)) % np.maximum(free[drawing], 1))
+        picks = np.ascontiguousarray(picks, dtype=np.int64)
+        expected = np.zeros(n, dtype=np.int64)
+        actual = np.zeros(n, dtype=np.int64)
+        _loops.luby_candidates(lanes, picks, taken, palette, expected)
+        backend.luby_candidates(lanes, picks, taken, palette, actual)
+        assert np.array_equal(expected, actual)
+
+    def test_absorb_and_resolve(self, backend, luby_state):
+        indptr, indices, n, palette, taken, undecided = luby_state
+        rng = np.random.default_rng(11)
+        undecided_mask = np.zeros(n, dtype=np.uint8)
+        undecided_mask[undecided] = 1
+        decided = np.flatnonzero(undecided_mask == 0).astype(np.int64)
+        final = np.zeros(n, dtype=np.int64)
+        final[decided] = rng.integers(1, palette + 1, size=len(decided))
+        announce = decided
+        expected_taken, actual_taken = taken.copy(), taken.copy()
+        _loops.luby_absorb(
+            announce, indptr, indices, final, undecided_mask, expected_taken
+        )
+        backend.luby_absorb(
+            announce, indptr, indices, final, undecided_mask, actual_taken
+        )
+        assert np.array_equal(expected_taken, actual_taken)
+
+        candidate = np.zeros(n, dtype=np.int64)
+        candidate[undecided] = rng.integers(0, palette + 1, size=len(undecided))
+        expected = np.zeros(len(undecided), dtype=np.uint8)
+        actual = np.zeros(len(undecided), dtype=np.uint8)
+        _loops.luby_resolve(
+            undecided, indptr, indices, candidate, expected_taken, expected
+        )
+        backend.luby_resolve(
+            undecided, indptr, indices, candidate, actual_taken, actual
+        )
+        assert np.array_equal(expected, actual)
+
+
+class TestResolutionMachinery:
+    def test_probe_accepts_loaded_backends(self, backend):
+        assert kernels._probe(backend) is True
+
+    def test_probe_rejects_corrupt_backend(self, backend):
+        class Corrupt:
+            name = "corrupt"
+
+            def __getattr__(self, attr):
+                return getattr(backend, attr)
+
+            def defective_step(self, indptr, indices, colors, q, digits, out):
+                backend.defective_step(indptr, indices, colors, q, digits, out)
+                out += 1  # a miscompiled kernel
+
+        assert kernels._probe(Corrupt()) is False
+
+    def test_env_forced_cext(self, monkeypatch):
+        if not any(b.name == "cext" for b in BACKENDS):
+            pytest.skip("no C toolchain on this machine")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "cext")
+        kernels.reset()
+        try:
+            assert kernels.backend_name() == "cext"
+        finally:
+            kernels.reset()
+
+    def test_env_forced_numba_without_numba_degrades(self, monkeypatch):
+        if any(b.name == "numba" for b in BACKENDS):
+            pytest.skip("numba is installed here")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numba")
+        kernels.reset()
+        try:
+            assert kernels.get_backend() is None
+            assert kernels.backend_name() is None
+        finally:
+            kernels.reset()
+
+    def test_c_backend_artifact_cache_reloads(self):
+        if not any(b.name == "cext" for b in BACKENDS):
+            pytest.skip("no C toolchain on this machine")
+        # Second load hits the hash-keyed artifact, no recompilation needed.
+        first = _c_backend.load()
+        second = _c_backend.load()
+        assert first is not None and second is not None
+
+    def test_c_backend_rejects_wrong_dtype(self):
+        cext = next((b for b in BACKENDS if b.name == "cext"), None)
+        if cext is None:
+            pytest.skip("no C toolchain on this machine")
+        indptr = np.zeros(2, dtype=np.int32)  # wrong dtype
+        indices = np.zeros(0, dtype=np.int64)
+        uids = np.zeros(1, dtype=np.int64)
+        colors = np.ones(1, dtype=np.int64)
+        out = np.zeros(1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            cext.linial_round(indptr, indices, uids, colors, 3, 1, out)
+
+    def test_runner_registry_covers_subclasses(self):
+        from repro.local_model.kernels.adapters import (
+            run_kw_reduction,
+            runner_for,
+        )
+        from repro.primitives.color_reduction import (
+            KuhnWattenhoferReductionPhase,
+        )
+
+        class Custom(KuhnWattenhoferReductionPhase):
+            pass
+
+        phase = Custom(palette=12, target=3, input_key="a", output_key="b")
+        assert runner_for(phase) is run_kw_reduction
+
+    def test_runner_registry_unknown_phase(self):
+        from repro.local_model import SynchronousPhase
+        from repro.local_model.kernels.adapters import runner_for
+
+        class Strange(SynchronousPhase):
+            name = "strange"
+
+            def send(self, view, state, round_index):
+                return {}
+
+            def receive(self, view, state, inbox, round_index):
+                return True
+
+        assert runner_for(Strange()) is None

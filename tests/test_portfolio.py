@@ -59,14 +59,53 @@ class TestCommittedModel:
     def test_engine_crossover(self):
         model = CostModel.default()
         assert model.choose_engine(500) == "batched"
-        assert model.choose_engine(200_000) == "vectorized"
+        # Without a resolved kernel backend the crossover lands on the
+        # vectorized kernels; with one, the compiled engine's smaller slope
+        # wins the same instance.
+        assert model.choose_engine(200_000, compiled_available=False) == "vectorized"
+        assert model.choose_engine(200_000, compiled_available=True) == "compiled"
 
-    def test_route_prefers_direct(self):
-        # On the reference machine the Lemma 5.2 simulation never beats the
-        # direct route, so the measured model keeps the direct default.
+    def test_compiled_candidate_requires_coefficients(self):
+        # A model without compiled coefficients never offers the engine,
+        # however large the instance and whatever the backend state.
+        stripped = {
+            "engine": {
+                k: v
+                for k, v in DEFAULT_MODEL["engine"].items()
+                if not k.startswith("compiled")
+            },
+            "route": dict(DEFAULT_MODEL["route"]),
+            "rounds": {q: dict(DEFAULT_MODEL["rounds"][q]) for q in QUALITY_ORDER},
+        }
+        model = CostModel.from_mapping(stripped, source="unit-test")
+        assert not model.has_engine("compiled")
+        assert model.choose_engine(10_000_000, compiled_available=True) == "vectorized"
+        with pytest.raises(InvalidParameterError):
+            model.predict_engine_seconds("compiled", 1_000)
+
+    def test_route_choice_follows_committed_coefficients(self):
+        # The route cost is linear in line entries, so the choice is
+        # whichever measured per-entry coefficient is smaller at every size
+        # (ties break to direct: same wall cost, smaller messages).
         model = CostModel.default()
-        assert model.choose_route(1_000) == "direct"
-        assert model.choose_route(1_000_000) == "direct"
+        cheaper = min(
+            ("direct", "simulation"),
+            key=lambda route: model.route[f"{route}_us_per_line_entry"],
+        )
+        assert model.choose_route(1_000) == cheaper
+        assert model.choose_route(1_000_000) == cheaper
+        tied = CostModel.from_mapping(
+            {
+                "engine": dict(DEFAULT_MODEL["engine"]),
+                "route": {
+                    "direct_us_per_line_entry": 0.5,
+                    "simulation_us_per_line_entry": 0.5,
+                },
+                "rounds": {q: dict(DEFAULT_MODEL["rounds"][q]) for q in QUALITY_ORDER},
+            },
+            source="unit-test",
+        )
+        assert tied.choose_route(1_000) == "direct"
 
     def test_quality_budget_walk(self):
         model = CostModel.default()
@@ -90,13 +129,26 @@ class TestCommittedModel:
 class TestDecisionPins:
     """The benchmarked instance classes and the decisions they must get."""
 
-    def test_small_instance_stays_on_defaults(self):
+    @staticmethod
+    def _expected_fast_engine() -> str:
+        """What the portfolio should pick past the batched crossover."""
+        from repro.local_model import kernels
+
+        return "compiled" if kernels.get_backend() is not None else "vectorized"
+
+    def test_small_instance_keeps_batched_engine(self):
         network = graphs.random_regular(32, 4, seed=1, backend="fast")
         result = color_edges(network)
         decision = result.decision
         assert (decision.algorithm, decision.engine) == ("legal-color", "batched")
-        assert (decision.quality, decision.route) == ("linear", "direct")
-        assert decision.is_default()
+        assert decision.quality == "linear"
+        # The route follows the committed coefficients (the two routes are
+        # nearly tied on the reference machine, so the pin is model-relative).
+        model = CostModel.default()
+        assert decision.route == model.choose_route(
+            _line_csr_entries(fast_view(network))
+        )
+        assert decision.is_default() == (decision.route == "direct")
         assert decision.overrides == ()
         assert_legal_edge_coloring(network, result.colors)
 
@@ -105,7 +157,7 @@ class TestDecisionPins:
         result = color_graph(network, seed=1)
         decision = result.decision
         assert decision.algorithm == "luby"
-        assert decision.engine == "vectorized"
+        assert decision.engine == self._expected_fast_engine()
         assert not decision.is_default()
         assert "CSR entries" in decision.reasons["engine"]
         predicted = decision.predicted
@@ -113,13 +165,21 @@ class TestDecisionPins:
             predicted["engine_vectorized_seconds"]
             < predicted["engine_batched_seconds"]
         )
+        if decision.engine == "compiled":
+            assert (
+                predicted["engine_compiled_seconds"]
+                < predicted["engine_vectorized_seconds"]
+            )
+            assert decision.kernel_backend is not None
+            assert decision.kernel_threads >= 1
         assert_legal_vertex_coloring(network, result.colors)
 
     def test_dense_instance_with_budget_degrades_quality(self):
         network = graphs.complete_graph(24, backend="fast")
         result = color_edges(network, budget=40.0)
         decision = result.decision
-        assert decision.engine == "vectorized"  # L(G) is big even at n=24
+        # L(G) is big even at n=24, so the engine leaves the batched default.
+        assert decision.engine == self._expected_fast_engine()
         assert decision.quality == "superlinear"
         assert not decision.is_default()
         assert "infeasible" in decision.reasons["quality"]
@@ -133,13 +193,33 @@ class TestDecisionPins:
         assert len(pins) >= 3
         by_instance = {pin["instance"]: pin for pin in pins}
         small = by_instance["small-regular(n=32, Delta=4)"]
-        assert small["engine"] == "batched" and small["is_default"]
+        assert small["engine"] == "batched"
         large = next(
             pin for name, pin in by_instance.items() if name.startswith("large-")
         )
-        assert large["engine"] == "vectorized" and not large["is_default"]
+        assert large["engine"] in ("vectorized", "compiled")
+        assert not large["is_default"]
         dense = by_instance["dense-complete(n=48, Delta=47)"]
         assert dense["quality"] == "superlinear" and not dense["is_default"]
+
+    def test_backend_absent_degrades_to_vectorized(self, monkeypatch):
+        # With no resolvable kernel backend the portfolio must not steer a
+        # large instance onto the compiled engine (it would just pay kernel
+        # dispatch overhead on top of the same numpy fallback).
+        from repro.local_model import kernels
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "none")
+        kernels.reset()
+        try:
+            network = graphs.random_regular(2048, 8, seed=2, backend="fast")
+            result = color_graph(network, seed=1)
+            decision = result.decision
+            assert decision.engine == "vectorized"
+            assert decision.kernel_backend is None
+            assert "no kernel backend" in decision.reasons["engine"]
+        finally:
+            monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+            kernels.reset()
 
     def test_entry_counts_match_csr(self):
         network = graphs.random_regular(32, 4, seed=1, backend="fast")

@@ -24,6 +24,7 @@ from repro.graphs.properties import (
 )
 from repro.local_model import (
     BatchedScheduler,
+    CompiledScheduler,
     Network,
     Scheduler,
     VectorizedScheduler,
@@ -296,7 +297,7 @@ class TestFastLineGraphBuilder:
             n=line.num_nodes, b=1, p=2, Lambda=Lambda, c=2, mode="edge"
         )
         reference = Scheduler(line.to_network()).run(pipeline)
-        for engine_cls in (BatchedScheduler, VectorizedScheduler):
+        for engine_cls in (BatchedScheduler, VectorizedScheduler, CompiledScheduler):
             candidate = engine_cls(line).run(pipeline)
             assert candidate.states == reference.states
             assert candidate.metrics.summary() == reference.metrics.summary()
@@ -427,13 +428,13 @@ def _metrics_fingerprint(metrics):
     )
 
 
-FAST_ENGINE_CLASSES = (BatchedScheduler, VectorizedScheduler)
+FAST_ENGINE_CLASSES = (BatchedScheduler, VectorizedScheduler, CompiledScheduler)
 
 
 class TestFastEngineProperties:
-    """The batched and vectorized engines are indistinguishable from the
-    reference scheduler on arbitrary random graphs -- states, per-phase
-    metrics, everything."""
+    """The batched, vectorized and compiled engines are indistinguishable
+    from the reference scheduler on arbitrary random graphs -- states,
+    per-phase metrics, everything."""
 
     @SLOW
     @given(random_edge_lists(max_nodes=10))
@@ -480,7 +481,7 @@ class TestFastEngineProperties:
         reference = color_edges(
             network, quality="superlinear", route="direct", engine="reference"
         )
-        for engine in ("batched", "vectorized"):
+        for engine in ("batched", "vectorized", "compiled"):
             candidate = color_edges(
                 network, quality="superlinear", route="direct", engine=engine
             )
@@ -504,7 +505,7 @@ def runner_scenarios(draw) -> Scenario:
         n += 1
     seed = draw(st.integers(min_value=0, max_value=5))
     quality = draw(st.sampled_from(["superlinear", "linear"]))
-    engine = draw(st.sampled_from(["batched", "reference", "vectorized"]))
+    engine = draw(st.sampled_from(["batched", "reference", "vectorized", "compiled"]))
     return Scenario.make(
         name=f"prop-{degree}-{n}-{seed}-{quality}-{engine}",
         graph=GraphSpec("random_regular", n=n, degree=degree, seed=seed),
