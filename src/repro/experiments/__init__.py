@@ -35,12 +35,15 @@ Quickstart::
 from repro.experiments.cache import (
     CACHE_ENV_VAR,
     CACHE_VERSION,
+    QUARANTINE_DIR_NAME,
+    CacheIntegrityWarning,
     ResultCache,
     default_cache_dir,
 )
 from repro.experiments.runner import (
     ExperimentRunner,
     ScenarioResult,
+    SweepStats,
     progress_ticker,
     run_scenario,
 )
@@ -51,6 +54,7 @@ from repro.experiments.scenarios import (
     GraphSpec,
     Scenario,
     coloring_digest,
+    payload_digest,
     register_algorithm,
     register_graph_family,
 )
@@ -59,15 +63,19 @@ __all__ = [
     "ALGORITHMS",
     "CACHE_ENV_VAR",
     "CACHE_VERSION",
+    "CacheIntegrityWarning",
     "ExperimentRunner",
     "G_FUNCTIONS",
     "GRAPH_FAMILIES",
     "GraphSpec",
+    "QUARANTINE_DIR_NAME",
     "ResultCache",
     "Scenario",
     "ScenarioResult",
+    "SweepStats",
     "coloring_digest",
     "default_cache_dir",
+    "payload_digest",
     "progress_ticker",
     "register_algorithm",
     "register_graph_family",

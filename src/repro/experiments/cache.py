@@ -5,16 +5,27 @@ Layout (documented in the README):
 .. code-block:: text
 
     <cache_dir>/
-        v1/                      # bumped when the payload format changes
+        v2/                      # bumped when the payload format changes
             ab/                  # first two hex digits of the cache token
                 ab3f...e1.json   # one file per scenario result
+        quarantine/              # corrupt/tampered entries, moved aside
 
-Each file holds ``{"key": <scenario key>, "payload": <result payload>}``; the
-``key`` is stored alongside the payload so cache entries are self-describing
-and collisions (which would require a SHA-256 break) are detectable.  Writes
-go through a temporary file followed by :func:`os.replace`, so concurrent
-writers -- e.g. parallel benchmark workers sharing one cache -- can never
-leave a torn file behind.
+Each file holds ``{"key": <scenario key>, "payload": <result payload>,
+"sha256": <payload digest>}``; the ``key`` is stored alongside the payload so
+cache entries are self-describing and collisions (which would require a
+SHA-256 break) are detectable, and the ``sha256`` digest (see
+:func:`~repro.experiments.scenarios.payload_digest`) lets :meth:`ResultCache.get`
+verify the payload byte for byte before serving it.  Writes go through a
+temporary file followed by :func:`os.replace`, so concurrent writers -- e.g.
+parallel benchmark workers sharing one cache -- can never leave a torn file
+behind.
+
+Entries that fail to parse or fail their digest check are *quarantined*: the
+file is moved to ``<cache_dir>/quarantine/`` (keeping its name, for forensics)
+and a :class:`CacheIntegrityWarning` is emitted once per cache instance.
+Before quarantining existed, a corrupt file was silently re-read -- and
+re-missed -- on every sweep; now the first encounter removes it from the hot
+path and the scenario simply recomputes and rewrites a good entry.
 """
 
 from __future__ import annotations
@@ -22,14 +33,25 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.experiments.scenarios import payload_digest
+
 #: Bump to invalidate every existing cache entry on a payload format change.
-CACHE_VERSION = 1
+#: v2: entries carry a ``sha256`` payload-integrity digest.
+CACHE_VERSION = 2
 
 #: Environment variable overriding the shared default cache location.
 CACHE_ENV_VAR = "REPRO_EXPERIMENT_CACHE"
+
+#: Subdirectory (sibling of the versioned store) holding quarantined entries.
+QUARANTINE_DIR_NAME = "quarantine"
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A cache entry failed to parse or failed its integrity digest check."""
 
 
 def default_cache_dir() -> Path:
@@ -46,31 +68,71 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """A content-addressed JSON store under ``root``."""
+    """A content-addressed JSON store under ``root``, with integrity checks."""
 
     def __init__(self, root: os.PathLike) -> None:
-        self.root = Path(root) / f"v{CACHE_VERSION}"
+        self._base = Path(root)
+        self.root = self._base / f"v{CACHE_VERSION}"
+        self.quarantine_root = self._base / QUARANTINE_DIR_NAME
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self._warned = False
 
     def _path(self, token: str) -> Path:
         return self.root / token[:2] / f"{token}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside (best-effort) and warn once per instance."""
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_root / path.name)
+            self.quarantined += 1
+        except OSError:
+            # A shared cache owned by another user may be unmovable; the
+            # entry then stays a miss, exactly as before quarantining existed.
+            pass
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"quarantined corrupt cache entry {path.name} ({reason}); "
+                f"further corrupt entries in this cache will be quarantined "
+                f"silently under {self.quarantine_root}",
+                CacheIntegrityWarning,
+                stacklevel=3,
+            )
+
     def get(self, token: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``token``, or ``None`` on a miss.
 
-        Unreadable entries (corrupt JSON, permission problems in a shared
-        cache directory) count as misses rather than crashing the sweep.
+        Entries that fail to parse or whose payload does not match the stored
+        ``sha256`` digest are quarantined and count as misses, so the sweep
+        recomputes (and rewrites) them instead of crashing -- or instead of
+        silently trusting a tampered result.
         """
         path = self._path(token)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError as error:
+            self._quarantine(path, f"unparseable JSON: {error}")
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "entry is not a payload-bearing object")
+            self.misses += 1
+            return None
+        digest = entry.get("sha256")
+        if digest is not None and digest != payload_digest(payload):
+            self._quarantine(path, "payload does not match its sha256 digest")
             self.misses += 1
             return None
         self.hits += 1
-        return entry.get("payload")
+        return payload
 
     def put(self, token: str, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
         """Atomically store ``payload`` (with its self-describing ``key``).
@@ -79,7 +141,7 @@ class ResultCache:
         another user) degrades to not caching instead of failing the sweep.
         """
         path = self._path(token)
-        entry = {"key": key, "payload": payload}
+        entry = {"key": key, "payload": payload, "sha256": payload_digest(payload)}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             descriptor, temp_name = tempfile.mkstemp(

@@ -1,4 +1,4 @@
-"""The parallel, caching experiment runner.
+"""The parallel, caching, fault-tolerant experiment runner.
 
 :class:`ExperimentRunner` takes a list of :class:`~repro.experiments.scenarios.Scenario`
 objects and produces one :class:`ScenarioResult` per scenario, in input order:
@@ -9,8 +9,23 @@ objects and produces one :class:`ScenarioResult` per scenario, in input order:
    (scenarios are plain picklable data; the worker rebuilds the graph from
    its :class:`~repro.experiments.scenarios.GraphSpec` and runs the named
    algorithm on the named engine);
-3. fresh results are written back to the cache atomically, so interrupted or
-   concurrent sweeps never corrupt it.
+3. every fresh result is written back to the cache *as its future lands*
+   (write-through), so an interrupted sweep acts as a checkpoint: re-running
+   it re-executes only the scenarios that had not finished.
+
+A worker failure never aborts the sweep.  Exceptions are captured per
+scenario into ``ScenarioResult.status`` / ``error``, with configurable
+retries (exponential backoff), a per-scenario soft timeout for hung workers,
+and transparent recovery from a broken process pool (the pool is rebuilt and
+only unfinished work resubmitted).  Workers apply the engine degradation
+chain (compiled -> vectorized -> batched -> reference, see
+:mod:`repro.resilience`) when an engine fails as infrastructure, and stamp an
+integrity digest on each payload so results corrupted in transit are detected
+and retried.  A seedable :class:`~repro.resilience.FaultPlan` can be injected
+to rehearse all of this deterministically.
+
+Only :class:`~repro.exceptions.InvalidParameterError` still propagates: an
+invalid scenario is a caller bug, not a fault, and retrying it cannot help.
 
 Duplicate scenarios (same cache token) are executed only once per ``run``
 call.  Set ``max_workers=0`` to force serial in-process execution -- useful
@@ -20,7 +35,9 @@ Sweep-level progress is reported through an optional ``on_progress`` callback
 (off by default): it fires once per scenario -- immediately for cache hits,
 from the process-pool futures as they complete for fresh executions -- with
 ``(done, total, scenario, cached)``.  :func:`progress_ticker` builds a
-ready-made stderr ticker callback.
+ready-made stderr ticker callback.  Aggregate reliability counters for the
+last sweep (retries, timeouts, pool rebuilds, failures, ...) are kept on
+``runner.last_stats``.
 """
 
 from __future__ import annotations
@@ -30,14 +47,33 @@ import os
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, TextIO
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
+from repro.exceptions import InvalidParameterError
 from repro.experiments.cache import ResultCache
-from repro.experiments.scenarios import ALGORITHMS, Scenario
+from repro.experiments.scenarios import ALGORITHMS, Scenario, payload_digest
+from repro.resilience.faults import FAULT_PLAN_ENV, FaultInjector, FaultPlan
+from repro.resilience.degrade import run_with_degradation
 
 #: Signature of the sweep progress callback: ``(done, total, scenario, cached)``.
 ProgressCallback = Callable[[int, int, Scenario, bool], None]
+
+#: How often the pool loop wakes to check soft timeouts (seconds).  Only used
+#: when a timeout is configured; without one the loop blocks until a future
+#: completes, exactly like the pre-resilience runner.
+_POLL_SECONDS = 0.05
 
 
 def progress_ticker(stream: Optional[TextIO] = None) -> ProgressCallback:
@@ -57,17 +93,11 @@ def progress_ticker(stream: Optional[TextIO] = None) -> ProgressCallback:
     return tick
 
 
-def run_scenario(scenario: Scenario) -> Dict[str, Any]:
-    """Execute one scenario and return its JSON-safe result payload.
-
-    This is the worker entry point (module-level so it pickles); it is also
-    called directly for serial execution and cache backfills.
-    """
+def _run_payload(scenario: Scenario, engine: str) -> Dict[str, Any]:
+    """Execute ``scenario`` on ``engine`` and return its JSON-safe payload."""
     try:
         runner = ALGORITHMS[scenario.algorithm]
     except KeyError:
-        from repro.exceptions import InvalidParameterError
-
         raise InvalidParameterError(
             f"unknown algorithm {scenario.algorithm!r}; known: {sorted(ALGORITHMS)}"
         ) from None
@@ -76,7 +106,7 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
     payload = runner(
         network,
         scenario.params_dict,
-        scenario.engine,
+        engine,
         scenario.capture_colors,
     )
     payload["wall_time"] = time.perf_counter() - started
@@ -86,6 +116,92 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
     return payload
 
 
+def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Execute one scenario and return its JSON-safe result payload.
+
+    Single-shot, no fault injection; the engine degradation chain still
+    applies, so an infrastructure failure of the requested engine degrades to
+    the next bit-identical engine instead of raising.
+    """
+    outcome = run_with_degradation(
+        lambda engine: _run_payload(scenario, engine), scenario.engine
+    )
+    return outcome.result
+
+
+def _execute_scenario(
+    scenario: Scenario,
+    index: int = 0,
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+) -> Dict[str, Any]:
+    """The worker entry point (module-level so it pickles): one envelope.
+
+    The envelope wraps the result payload with resilience metadata that must
+    never leak into the cached payload itself (cached payloads stay
+    bit-identical to fault-free runs): the engine that actually produced the
+    result after degradation, the abandoned engines, and an integrity digest
+    computed *before* any injected corruption so the parent can verify the
+    payload it received.
+    """
+    if injector is None:
+        injector = FaultInjector.from_env()
+    restore = None
+    if injector is not None:
+        restore = injector.fire_before_run(index, attempt)
+    try:
+        outcome = run_with_degradation(
+            lambda engine: _run_payload(scenario, engine), scenario.engine
+        )
+    finally:
+        if restore is not None:
+            restore()
+    payload = outcome.result
+    envelope = {
+        "payload": payload,
+        "engine_used": outcome.engine,
+        "degraded_from": list(outcome.degraded_from),
+        "integrity": payload_digest(payload),
+    }
+    if injector is not None:
+        injector.corrupt_payload(index, attempt, payload)
+    return envelope
+
+
+@dataclass
+class SweepStats:
+    """Aggregate reliability counters for one ``run`` call.
+
+    ``retries`` counts re-executions charged to a specific scenario (worker
+    exceptions, integrity mismatches, soft timeouts, and the collective
+    charge after a pool breakage); ``pool_rebuilds`` counts the process-pool
+    generations created beyond the first; ``degraded`` counts scenarios whose
+    result was produced below their requested engine.
+    """
+
+    scenarios: int = 0
+    cache_hits: int = 0
+    fresh: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded: int = 0
+
+
+@dataclass
+class _Outcome:
+    """Internal per-token outcome record (shared by duplicate scenarios)."""
+
+    payload: Optional[Dict[str, Any]] = None
+    cached: bool = False
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
+    engine_used: Optional[str] = None
+    degraded_from: Tuple[str, ...] = ()
+
+
 @dataclass
 class ScenarioResult:
     """One scenario's outcome.
@@ -93,17 +209,46 @@ class ScenarioResult:
     ``payload`` holds the JSON-safe result produced by the algorithm runner
     (metrics, palette, colors_used, coloring digest, wall time, ...);
     ``cached`` tells whether it was served from the on-disk cache.
+
+    ``status`` is ``"ok"`` or ``"failed"``.  A failed result has
+    ``payload=None`` and an attributed ``error`` string (the final exception,
+    timeout, or pool breakage, after ``attempts`` executions); unknown
+    attribute lookups then raise :class:`AttributeError` instead of
+    dereferencing a payload that does not exist.  ``engine_used`` /
+    ``degraded_from`` record engine degradation (``engine_used`` equals the
+    scenario's engine when no degradation happened; both are ``None``/empty
+    for cache hits, whose execution history was not retained).
     """
 
     scenario: Scenario
-    payload: Dict[str, Any]
+    payload: Optional[Dict[str, Any]]
     cached: bool
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
+    engine_used: Optional[str] = None
+    degraded_from: Tuple[str, ...] = ()
 
     def __getattr__(self, name: str) -> Any:
+        # Dunder probes (pickle's __getstate__, copy's __deepcopy__,
+        # __dataclass_fields__ lookups on the instance, ...) must fail fast
+        # with AttributeError instead of being searched for in the payload
+        # dict -- otherwise copying or pickling a result explodes on payload
+        # keys that merely *look* like protocol hooks, and every protocol
+        # probe costs a dict lookup.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        payload = self.__dict__.get("payload")
+        if payload is None:
+            raise AttributeError(name)
         try:
-            return self.payload[name]
+            return payload[name]
         except KeyError:
             raise AttributeError(name) from None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def name(self) -> str:
@@ -112,7 +257,7 @@ class ScenarioResult:
     @property
     def coloring(self) -> Dict[Hashable, int]:
         """The captured coloring (requires ``capture_colors=True``)."""
-        encoded = self.payload.get("coloring")
+        encoded = self.payload.get("coloring") if self.payload else None
         if encoded is None:
             raise ValueError(
                 f"scenario {self.scenario.name!r} did not capture its coloring; "
@@ -122,19 +267,36 @@ class ScenarioResult:
 
 
 class ExperimentRunner:
-    """Shard scenarios across processes, with on-disk result caching.
+    """Shard scenarios across processes, with caching and fault tolerance.
 
     Parameters
     ----------
     cache_dir:
         Directory of the result cache (see :mod:`repro.experiments.cache`).
-        ``None`` disables caching.
+        ``None`` disables caching (and with it checkpoint/resume).
     max_workers:
         Worker process count.  ``None`` uses ``os.cpu_count()`` (capped by
         the number of scenarios); ``0`` or ``1`` runs serially in-process.
     on_progress:
         Default sweep-progress callback used by :meth:`run` when none is
         passed explicitly; ``None`` (the default) disables reporting.
+    retries:
+        How many times a failing scenario is re-executed before it is
+        recorded as ``status="failed"`` (so each scenario runs at most
+        ``retries + 1`` times).
+    retry_backoff:
+        Base of the exponential backoff slept before retry ``k``:
+        ``retry_backoff * 2**(k-1)`` seconds.  ``0`` (the default) retries
+        immediately -- the right choice for deterministic in-process faults;
+        give it a small positive value when failures are environmental.
+    timeout:
+        Per-scenario soft timeout in seconds, measured from when the worker
+        starts executing (pool execution only; a serial run cannot preempt
+        itself).  On expiry the scenario is charged an attempt and the pool
+        is rebuilt, because a hung worker cannot be reclaimed.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` to inject deterministic
+        faults, propagated to pool workers via ``$REPRO_FAULT_PLAN``.
     """
 
     def __init__(
@@ -142,10 +304,20 @@ class ExperimentRunner:
         cache_dir: Optional[os.PathLike] = None,
         max_workers: Optional[int] = None,
         on_progress: Optional[ProgressCallback] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.0,
+        timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.on_progress = on_progress
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.timeout = timeout
+        self.fault_plan = fault_plan
+        #: :class:`SweepStats` of the most recent :meth:`run` call.
+        self.last_stats = SweepStats()
 
     def run(
         self,
@@ -165,6 +337,8 @@ class ExperimentRunner:
         tokens = [scenario.cache_token() for scenario in scenarios]
         total = len(scenarios)
         done = 0
+        stats = SweepStats(scenarios=total)
+        self.last_stats = stats
 
         def report(index: int, cached: bool) -> None:
             nonlocal done
@@ -172,82 +346,352 @@ class ExperimentRunner:
             if on_progress is not None:
                 on_progress(done, total, scenarios[index], cached)
 
-        payloads: Dict[str, Dict[str, Any]] = {}
-        cached_tokens = set()
+        outcomes: Dict[str, _Outcome] = {}
         if self.cache is not None:
             for scenario, token in zip(scenarios, tokens):
-                if token in payloads or token in cached_tokens:
+                if token in outcomes:
                     continue
                 hit = self.cache.get(token)
                 if hit is not None:
-                    payloads[token] = hit
-                    cached_tokens.add(token)
+                    outcomes[token] = _Outcome(payload=hit, cached=True)
+                    stats.cache_hits += 1
         for index, token in enumerate(tokens):
-            if token in cached_tokens:
+            if token in outcomes:
                 report(index, cached=True)
 
         pending: List[int] = []
         pending_tokens = set()
         for index, token in enumerate(tokens):
-            if token not in payloads and token not in pending_tokens:
+            if token not in outcomes and token not in pending_tokens:
                 pending.append(index)
                 pending_tokens.add(token)
+
+        def complete(index: int, outcome: _Outcome) -> None:
+            # Write-through: each fresh result checkpoints to the cache the
+            # moment it lands, so an interrupted sweep resumes from here.
+            token = tokens[index]
+            outcomes[token] = outcome
+            if outcome.status == "ok":
+                stats.fresh += 1
+                if outcome.degraded_from:
+                    stats.degraded += 1
+                if self.cache is not None:
+                    self.cache.put(token, scenarios[index].key(), outcome.payload)
+            else:
+                stats.failures += 1
+            report(index, cached=False)
 
         if pending:
             workers = self.max_workers
             if workers is None:
                 workers = min(len(pending), os.cpu_count() or 1)
             if workers and workers > 1 and len(pending) > 1:
-                fresh = self._run_pool(scenarios, pending, workers, report)
+                self._run_pool(scenarios, pending, workers, complete, stats)
             else:
-                fresh = []
-                for index in pending:
-                    fresh.append(run_scenario(scenarios[index]))
-                    report(index, cached=False)
-            for index, payload in zip(pending, fresh):
-                token = tokens[index]
-                payloads[token] = payload
-                if self.cache is not None:
-                    self.cache.put(token, scenarios[index].key(), payload)
+                self._run_serial(scenarios, pending, complete, stats)
 
         # Duplicates of freshly executed scenarios resolve last (their
-        # payload was computed once, under the executing index).
+        # outcome was computed once, under the executing index).
+        pending_set = set(pending)
         for index, token in enumerate(tokens):
-            if token in pending_tokens and index not in pending:
+            if token in pending_tokens and index not in pending_set:
                 report(index, cached=False)
 
         return [
             ScenarioResult(
                 scenario=scenario,
-                payload=payloads[token],
-                cached=token in cached_tokens,
+                payload=outcomes[token].payload,
+                cached=outcomes[token].cached,
+                status=outcomes[token].status,
+                error=outcomes[token].error,
+                attempts=outcomes[token].attempts,
+                engine_used=outcomes[token].engine_used,
+                degraded_from=outcomes[token].degraded_from,
             )
             for scenario, token in zip(scenarios, tokens)
         ]
 
+    # ------------------------------------------------------------------ #
+    # Execution paths
+    # ------------------------------------------------------------------ #
+
+    def _backoff(self, attempt: int) -> None:
+        delay = self.retry_backoff * (2 ** max(0, attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
     @staticmethod
+    def _ok_outcome(envelope: Dict[str, Any], attempts: int) -> _Outcome:
+        return _Outcome(
+            payload=envelope["payload"],
+            status="ok",
+            attempts=attempts,
+            engine_used=envelope.get("engine_used"),
+            degraded_from=tuple(envelope.get("degraded_from") or ()),
+        )
+
+    def _run_serial(
+        self,
+        scenarios: Sequence[Scenario],
+        pending: Sequence[int],
+        complete: Callable[[int, _Outcome], None],
+        stats: SweepStats,
+    ) -> None:
+        """In-process execution with the same capture/retry/write-through policy."""
+        injector = (
+            FaultInjector(self.fault_plan, allow_process_exit=False)
+            if self.fault_plan is not None
+            else None
+        )
+        for index in pending:
+            attempt = 0
+            while True:
+                error = None
+                envelope = None
+                try:
+                    envelope = _execute_scenario(
+                        scenarios[index], index, attempt, injector=injector
+                    )
+                except InvalidParameterError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - capture, not abort
+                    error = f"{type(exc).__name__}: {exc}"
+                if error is None and envelope["integrity"] != payload_digest(
+                    envelope["payload"]
+                ):
+                    error = "payload integrity digest mismatch"
+                if error is None:
+                    complete(index, self._ok_outcome(envelope, attempt + 1))
+                    break
+                attempt += 1
+                if attempt > self.retries:
+                    complete(
+                        index,
+                        _Outcome(status="failed", error=error, attempts=attempt),
+                    )
+                    break
+                stats.retries += 1
+                self._backoff(attempt)
+
     def _run_pool(
+        self,
         scenarios: Sequence[Scenario],
         pending: Sequence[int],
         workers: int,
-        report: Callable[[int, bool], None],
-    ) -> List[Dict[str, Any]]:
-        """Shard ``pending`` across a process pool, reporting as futures land.
+        complete: Callable[[int, _Outcome], None],
+        stats: SweepStats,
+    ) -> None:
+        """Pool execution in *generations*: a lost pool is rebuilt, and only
+        unfinished work is resubmitted to the replacement."""
+        previous_env = None
+        env_set = False
+        if self.fault_plan is not None:
+            previous_env = os.environ.get(FAULT_PLAN_ENV)
+            os.environ[FAULT_PLAN_ENV] = self.fault_plan.to_json()
+            env_set = True
+        attempts = dict.fromkeys(pending, 0)
+        unfinished = list(pending)
+        suspects: set = set()
+        first = True
+        try:
+            while unfinished:
+                if not first:
+                    stats.pool_rebuilds += 1
+                first = False
+                unfinished = self._pool_generation(
+                    scenarios, unfinished, attempts, workers, complete, stats, suspects
+                )
+            # Scenarios that ran out of attempts purely through *collective*
+            # pool-breakage charges were never individually convicted: give
+            # each one isolated, single-worker execution.  If the pool
+            # breaks again the crash is theirs beyond doubt (and is recorded
+            # as such); innocents caught near a serial crasher complete here.
+            for index in sorted(suspects):
+                unfinished = [index]
+                while unfinished:
+                    stats.pool_rebuilds += 1
+                    unfinished = self._pool_generation(
+                        scenarios,
+                        unfinished,
+                        attempts,
+                        1,
+                        complete,
+                        stats,
+                        suspects,
+                        isolated=True,
+                    )
+        finally:
+            if env_set:
+                if previous_env is None:
+                    os.environ.pop(FAULT_PLAN_ENV, None)
+                else:
+                    os.environ[FAULT_PLAN_ENV] = previous_env
 
-        Results are returned in ``pending`` order regardless of completion
-        order.
+    def _pool_generation(
+        self,
+        scenarios: Sequence[Scenario],
+        unfinished: Sequence[int],
+        attempts: Dict[int, int],
+        workers: int,
+        complete: Callable[[int, _Outcome], None],
+        stats: SweepStats,
+        suspects: set,
+        isolated: bool = False,
+    ) -> List[int]:
+        """Drain one process pool; return the indexes a fresh pool must redo.
+
+        The generation ends early ("the pool is lost") on a broken pool or a
+        soft-timeout expiry, because in both cases at least one worker can no
+        longer be trusted or reclaimed.  A pool breakage cannot be attributed
+        to a single scenario, so it charges one attempt to *every* index that
+        was unfinished at that moment -- this guarantees termination (a
+        scenario that always kills its worker runs out of attempts after at
+        most ``retries + 1`` breakages).  Indexes exhausted *only* by those
+        collective charges are not failed here but parked in ``suspects``
+        for an isolated retrial (see :meth:`_run_pool`); in an ``isolated``
+        (single-scenario) generation a breakage is individual guilt and
+        fails the scenario directly.
         """
-        results: Dict[int, Dict[str, Any]] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            future_index = {
-                pool.submit(run_scenario, scenarios[index]): index
-                for index in pending
-            }
-            outstanding = set(future_index)
-            while outstanding:
-                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: Dict[Any, int] = {}
+        started: Dict[Any, float] = {}
+        remaining = set(unfinished)
+        lost = False
+        charge_all = False
+        try:
+            for index in unfinished:
+                futures[
+                    pool.submit(
+                        _execute_scenario, scenarios[index], index, attempts[index]
+                    )
+                ] = index
+            while futures and not lost:
+                tick = _POLL_SECONDS if self.timeout is not None else None
+                finished, _ = wait(
+                    set(futures), timeout=tick, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
                 for future in finished:
-                    index = future_index[future]
-                    results[index] = future.result()
-                    report(index, cached=False)
-        return [results[index] for index in pending]
+                    index = futures.pop(future)
+                    started.pop(future, None)
+                    envelope = None
+                    error = None
+                    try:
+                        envelope = future.result()
+                    except InvalidParameterError:
+                        raise
+                    except BrokenProcessPool:
+                        lost = True
+                        charge_all = True
+                        break
+                    except Exception as exc:  # noqa: BLE001 - capture, not abort
+                        error = f"{type(exc).__name__}: {exc}"
+                    if error is None and envelope["integrity"] != payload_digest(
+                        envelope["payload"]
+                    ):
+                        error = "payload integrity digest mismatch (corrupted in transit)"
+                    if error is None:
+                        remaining.discard(index)
+                        complete(index, self._ok_outcome(envelope, attempts[index] + 1))
+                        continue
+                    attempts[index] += 1
+                    if attempts[index] > self.retries:
+                        remaining.discard(index)
+                        complete(
+                            index,
+                            _Outcome(
+                                status="failed", error=error, attempts=attempts[index]
+                            ),
+                        )
+                    else:
+                        stats.retries += 1
+                        self._backoff(attempts[index])
+                        futures[
+                            pool.submit(
+                                _execute_scenario,
+                                scenarios[index],
+                                index,
+                                attempts[index],
+                            )
+                        ] = index
+                if lost or self.timeout is None:
+                    continue
+                for future in list(futures):
+                    if future not in started and future.running():
+                        started[future] = now
+                expired = [
+                    future
+                    for future, began in started.items()
+                    if future in futures and now - began >= self.timeout
+                ]
+                if expired:
+                    # A hung worker cannot be cancelled or reclaimed: charge
+                    # the timed-out scenarios an attempt and lose the pool.
+                    lost = True
+                    stats.timeouts += len(expired)
+                    for future in expired:
+                        index = futures.pop(future)
+                        attempts[index] += 1
+                        if attempts[index] > self.retries:
+                            remaining.discard(index)
+                            complete(
+                                index,
+                                _Outcome(
+                                    status="failed",
+                                    error=(
+                                        f"soft timeout: no result within "
+                                        f"{self.timeout:g}s (worker hung)"
+                                    ),
+                                    attempts=attempts[index],
+                                ),
+                            )
+                        else:
+                            stats.retries += 1
+        finally:
+            self._teardown_pool(pool, graceful=not lost)
+        if charge_all:
+            # The pool broke; every unfinished scenario pays one attempt
+            # (see the docstring for why attribution is collective).
+            for index in sorted(remaining):
+                attempts[index] += 1
+                if isolated:
+                    # The scenario was alone in this pool: the crash is its.
+                    remaining.discard(index)
+                    complete(
+                        index,
+                        _Outcome(
+                            status="failed",
+                            error=(
+                                "worker process crashed while executing this "
+                                "scenario (confirmed in isolation); retries "
+                                "exhausted"
+                            ),
+                            attempts=attempts[index],
+                        ),
+                    )
+                elif attempts[index] > self.retries:
+                    remaining.discard(index)
+                    suspects.add(index)
+                else:
+                    stats.retries += 1
+        return sorted(remaining)
+
+    @staticmethod
+    def _teardown_pool(pool: ProcessPoolExecutor, graceful: bool) -> None:
+        """Shut a pool down; a lost pool's workers are terminated outright.
+
+        ``_processes`` is private executor state, but it is the only handle
+        on a *hung* worker -- ``shutdown`` alone would block on (or leak) it.
+        The access is defensive: if the attribute moves, teardown degrades to
+        the plain non-waiting shutdown.
+        """
+        if graceful:
+            pool.shutdown(wait=True)
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - already-dead workers are fine
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -380,6 +380,21 @@ def coloring_digest(colors: Mapping[Any, int]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def payload_digest(payload: Mapping[str, Any]) -> str:
+    """The SHA-256 of a result payload's canonical JSON form.
+
+    This is the integrity digest used end to end by the resilience layer:
+    workers stamp it on their result envelope (so the parent detects payloads
+    corrupted in transit and retries) and :class:`~repro.experiments.cache.
+    ResultCache` stores it with every entry (so corrupt or tampered cache
+    files are quarantined instead of silently served or endlessly re-missed).
+    JSON canonicalization means the digest is stable across the
+    pickle-transport and disk round trips the payload actually takes.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def encode_coloring(colors: Mapping[Any, int]) -> list:
     """Encode a coloring as JSON-safe ``[repr(node), color]`` pairs."""
     return sorted([repr(node), int(color)] for node, color in colors.items())

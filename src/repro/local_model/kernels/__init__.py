@@ -42,6 +42,7 @@ __all__ = [
     "get_backend",
     "backend_name",
     "backend_reason",
+    "force_backend",
     "set_num_threads",
     "get_num_threads",
     "reset",
@@ -250,6 +251,27 @@ def reset() -> None:
     _RESOLVED = False
     _BACKEND = None
     _REASON = "backend not yet resolved"
+
+
+def force_backend(backend, reason: str = "forced") -> "callable":
+    """Install ``backend`` as the resolved provider, bypassing probe/env logic.
+
+    This is the seam the fault injector (and tests) use to simulate a backend
+    that breaks mid-run: install a poisoned object here and every compiled
+    scheduler constructed afterwards dispatches into it.  Returns a restore
+    callable that reinstates the previous resolution state exactly; callers
+    must invoke it (typically in a ``finally``) because pool workers are
+    long-lived and an installed backend would leak into unrelated runs.
+    """
+    global _RESOLVED, _BACKEND, _REASON
+    previous = (_RESOLVED, _BACKEND, _REASON)
+    _RESOLVED, _BACKEND, _REASON = True, backend, reason
+
+    def restore() -> None:
+        global _RESOLVED, _BACKEND, _REASON
+        _RESOLVED, _BACKEND, _REASON = previous
+
+    return restore
 
 
 def runner_for(phase):

@@ -32,6 +32,12 @@ _SOURCE = Path(__file__).with_name("csrc") / "kernels.c"
 _CFLAGS = ("-O3", "-std=c99", "-shared", "-fPIC")
 _OPENMP_FLAG = "-fopenmp"
 
+#: Compile-step wall-clock budget (seconds); override via the env var below.
+#: A wedged system compiler then costs one bounded wait instead of hanging
+#: the first compiled run forever.
+_COMPILE_TIMEOUT_ENV = "REPRO_KERNEL_COMPILE_TIMEOUT"
+_COMPILE_TIMEOUT_DEFAULT = 120.0
+
 _I64 = ctypes.c_longlong
 _PTR = ctypes.c_void_p
 
@@ -57,6 +63,16 @@ def _compiler() -> Optional[str]:
     return None
 
 
+def _compile_timeout() -> float:
+    raw = os.environ.get(_COMPILE_TIMEOUT_ENV)
+    if raw:
+        try:
+            return max(1.0, float(raw))
+        except ValueError:
+            pass
+    return _COMPILE_TIMEOUT_DEFAULT
+
+
 def _compile(source: Path, compiler: str, use_openmp: bool) -> Optional[Path]:
     flags = list(_CFLAGS) + ([_OPENMP_FLAG] if use_openmp else [])
     tag = hashlib.sha256(
@@ -65,14 +81,31 @@ def _compile(source: Path, compiler: str, use_openmp: bool) -> Optional[Path]:
     artifact = _build_dir() / f"kernels-{tag}.so"
     if artifact.exists():
         return artifact
+    # Failure memo: a previous build of this exact (source, flags) pair timed
+    # out or failed, so skip straight to the numba/numpy fallback instead of
+    # re-invoking (and potentially re-hanging on) the system compiler every
+    # process start.  The memo is keyed by the same content tag as the
+    # artifact, so editing the source or flags retries automatically; delete
+    # the file to retry by hand.
+    memo = artifact.with_suffix(".failed")
+    if memo.exists():
+        return None
     scratch = artifact.with_suffix(f".{os.getpid()}.tmp")
     command = [compiler, *flags, str(source), "-o", str(scratch)]
     try:
         subprocess.run(
-            command, check=True, capture_output=True, text=True, timeout=120
+            command,
+            check=True,
+            capture_output=True,
+            text=True,
+            timeout=_compile_timeout(),
         )
-    except (subprocess.SubprocessError, OSError):
+    except (subprocess.SubprocessError, OSError) as error:
         scratch.unlink(missing_ok=True)
+        try:
+            memo.write_text(f"{type(error).__name__}: {error}\n", encoding="utf-8")
+        except OSError:
+            pass
         return None
     os.replace(scratch, artifact)  # atomic under concurrent builders
     return artifact

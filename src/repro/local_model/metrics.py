@@ -65,6 +65,13 @@ class RunMetrics:
         the same phase (recursion levels re-run phases under one name).
         Populated by every engine; excluded from equality because timings
         are machine- and run-dependent.
+    degraded_engine_names:
+        Engines abandoned by the resilience layer's degradation chain before
+        this run succeeded, fastest first (see
+        :func:`repro.resilience.run_with_degradation`); empty for runs that
+        executed on their requested engine.  Informational and excluded from
+        equality, like the fallback accounting -- the engines are
+        bit-identical, so a degraded run's *results* are indistinguishable.
     """
 
     rounds: int = 0
@@ -77,6 +84,7 @@ class RunMetrics:
         default_factory=list, compare=False
     )
     phase_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
+    degraded_engine_names: List[str] = field(default_factory=list, compare=False)
 
     def add_phase(self, phase: PhaseMetrics) -> None:
         """Fold one phase's metrics into the aggregate."""
@@ -96,6 +104,7 @@ class RunMetrics:
             self.add_phase(phase)
         self.fallback_phase_names.extend(other.fallback_phase_names)
         self.compiled_fallback_phase_names.extend(other.compiled_fallback_phase_names)
+        self.degraded_engine_names.extend(other.degraded_engine_names)
         for name, seconds in other.phase_seconds.items():
             self.add_phase_seconds(name, seconds)
         if not other.phases:

@@ -38,10 +38,31 @@ from repro.local_model import kernels
 from repro.local_model.fast_network import fast_view
 from repro.portfolio.cost_model import CostModel
 from repro.portfolio.result import PortfolioDecision, PortfolioResult
+from repro.resilience.degrade import run_with_degradation
 from repro.verification.coloring import NetworkLike
 
 VERTEX_ALGORITHMS = ("legal-color", "luby")
 EDGE_ALGORITHMS = ("legal-color", "panconesi-rizzi", "greedy-reduction", "luby")
+
+
+def _invoke_degradable(invoke, engine: str, reasons: dict):
+    """Run ``invoke(engine)`` under the engine degradation chain.
+
+    On an :class:`~repro.exceptions.EngineFailure` the call is retried on the
+    next bit-identical engine down the chain (compiled -> vectorized ->
+    batched -> reference).  A degradation is narrated in ``reasons["engine"]``
+    and stamped on the result's metrics, so the decision record never claims
+    an engine that did not actually produce the coloring.
+    """
+    outcome = run_with_degradation(invoke, engine)
+    if outcome.degraded:
+        failed = ", ".join(name for name, _ in outcome.failures)
+        reasons["engine"] = (
+            reasons.get("engine", "")
+            + f"; degraded to {outcome.engine!r} after engine failure on: {failed}"
+        )
+        outcome.record_on_metrics(outcome.result.metrics)
+    return outcome
 
 
 def _csr_entries(fast) -> int:
@@ -205,15 +226,25 @@ def color_graph(
             model, fast.max_degree, max(2, fast.num_nodes), budget, epsilon, quality
         )
         predicted.update(quality_predicted)
-        raw = core_color_vertices(
-            fast, c, quality=quality, epsilon=epsilon, engine=engine
+        chosen_quality = quality
+        outcome = _invoke_degradable(
+            lambda eng: core_color_vertices(
+                fast, c, quality=chosen_quality, epsilon=epsilon, engine=eng
+            ),
+            engine,
+            reasons,
         )
     else:
-        raw = luby_vertex_coloring(fast, seed=seed, engine=engine)
+        outcome = _invoke_degradable(
+            lambda eng: luby_vertex_coloring(fast, seed=seed, engine=eng),
+            engine,
+            reasons,
+        )
+    raw = outcome.result
 
     decision = PortfolioDecision(
         algorithm=algorithm,
-        engine=engine,
+        engine=outcome.engine,
         quality=quality,
         route=None,
         reasons=reasons,
@@ -222,6 +253,7 @@ def color_graph(
         model_source=model.source,
         kernel_backend=kernels.backend_name(),
         kernel_threads=kernels.get_num_threads(),
+        degraded_from=outcome.degraded_from,
     )
     return PortfolioResult(
         colors=raw.colors,
@@ -316,24 +348,42 @@ def color_edges(
             )
         else:
             reasons["route"] = "route pinned by caller"
-        raw = core_color_edges(
-            fast,
-            quality=quality,
-            epsilon=epsilon,
-            route=route,
-            use_auxiliary_coloring=use_auxiliary_coloring,
-            engine=engine,
+        chosen_quality, chosen_route = quality, route
+        outcome = _invoke_degradable(
+            lambda eng: core_color_edges(
+                fast,
+                quality=chosen_quality,
+                epsilon=epsilon,
+                route=chosen_route,
+                use_auxiliary_coloring=use_auxiliary_coloring,
+                engine=eng,
+            ),
+            engine,
+            reasons,
         )
     elif algorithm == "panconesi-rizzi":
-        raw = panconesi_rizzi_edge_coloring(fast, engine=engine)
+        outcome = _invoke_degradable(
+            lambda eng: panconesi_rizzi_edge_coloring(fast, engine=eng),
+            engine,
+            reasons,
+        )
     elif algorithm == "greedy-reduction":
-        raw = greedy_reduction_edge_coloring(fast, engine=engine)
+        outcome = _invoke_degradable(
+            lambda eng: greedy_reduction_edge_coloring(fast, engine=eng),
+            engine,
+            reasons,
+        )
     else:
-        raw = luby_edge_coloring(fast, seed=seed, engine=engine)
+        outcome = _invoke_degradable(
+            lambda eng: luby_edge_coloring(fast, seed=seed, engine=eng),
+            engine,
+            reasons,
+        )
+    raw = outcome.result
 
     decision = PortfolioDecision(
         algorithm=algorithm,
-        engine=engine,
+        engine=outcome.engine,
         quality=quality,
         route=route if algorithm == "legal-color" else None,
         reasons=reasons,
@@ -342,6 +392,7 @@ def color_edges(
         model_source=model.source,
         kernel_backend=kernels.backend_name(),
         kernel_threads=kernels.get_num_threads(),
+        degraded_from=outcome.degraded_from,
     )
     return PortfolioResult(
         colors=raw.edge_colors,

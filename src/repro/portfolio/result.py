@@ -25,6 +25,12 @@ class PortfolioDecision:
     resolved provider name and its thread count) — populated whether or not
     the compiled engine was chosen, so a decision record always says *why*
     ``"compiled"`` was or was not on the table.
+
+    ``engine`` is always the engine that *actually produced* the result:
+    when the resilience layer degraded the run (see
+    :func:`repro.resilience.run_with_degradation`), the engines abandoned on
+    the way are listed fastest-first in ``degraded_from`` (empty for a
+    healthy run) and the degradation is narrated in ``reasons["engine"]``.
     """
 
     algorithm: str
@@ -37,6 +43,7 @@ class PortfolioDecision:
     model_source: str = "defaults"
     kernel_backend: Optional[str] = None
     kernel_threads: int = 1
+    degraded_from: Tuple[str, ...] = ()
 
     def is_default(self) -> bool:
         """Whether the chosen (engine, quality, route) is the default triple.

@@ -217,12 +217,15 @@ class TestScenarioAndCache:
         assert entry["payload"]["rounds"] > 0
 
     def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        from repro.experiments import CacheIntegrityWarning
+
         cache = ResultCache(tmp_path)
         token = legal_scenario().cache_token()
         cache.put(token, {"k": 1}, {"rounds": 3})
         path = cache._path(token)
         path.write_text("{not json")
-        assert cache.get(token) is None
+        with pytest.warns(CacheIntegrityWarning):
+            assert cache.get(token) is None
 
 
 class TestEngineCacheKeys:
