@@ -76,7 +76,7 @@ from repro.local_model import (
     use_engine,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BatchedScheduler",

@@ -25,7 +25,10 @@ file is moved to ``<cache_dir>/quarantine/`` (keeping its name, for forensics)
 and a :class:`CacheIntegrityWarning` is emitted once per cache instance.
 Before quarantining existed, a corrupt file was silently re-read -- and
 re-missed -- on every sweep; now the first encounter removes it from the hot
-path and the scenario simply recomputes and rewrites a good entry.
+path and the scenario simply recomputes and rewrites a good entry.  The
+quarantine keeps only the newest ``quarantine_keep`` entries (default
+:data:`DEFAULT_QUARANTINE_KEEP`), so repeated corruption in a long-lived
+multi-worker cache cannot grow it without bound.
 """
 
 from __future__ import annotations
@@ -49,6 +52,9 @@ CACHE_ENV_VAR = "REPRO_EXPERIMENT_CACHE"
 #: Subdirectory (sibling of the versioned store) holding quarantined entries.
 QUARANTINE_DIR_NAME = "quarantine"
 
+#: Default cap on retained quarantined entries (newest kept, oldest pruned).
+DEFAULT_QUARANTINE_KEEP = 32
+
 
 class CacheIntegrityWarning(UserWarning):
     """A cache entry failed to parse or failed its integrity digest check."""
@@ -70,10 +76,16 @@ def default_cache_dir() -> Path:
 class ResultCache:
     """A content-addressed JSON store under ``root``, with integrity checks."""
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(
+        self, root: os.PathLike, quarantine_keep: int = DEFAULT_QUARANTINE_KEEP
+    ) -> None:
         self._base = Path(root)
         self.root = self._base / f"v{CACHE_VERSION}"
         self.quarantine_root = self._base / QUARANTINE_DIR_NAME
+        #: Keep at most this many quarantined entries (newest first); older
+        #: ones are pruned so a long-lived multi-worker cache under repeated
+        #: corruption cannot grow its quarantine without bound.
+        self.quarantine_keep = max(0, int(quarantine_keep))
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
@@ -88,6 +100,7 @@ class ResultCache:
             self.quarantine_root.mkdir(parents=True, exist_ok=True)
             os.replace(path, self.quarantine_root / path.name)
             self.quarantined += 1
+            self._prune_quarantine()
         except OSError:
             # A shared cache owned by another user may be unmovable; the
             # entry then stays a miss, exactly as before quarantining existed.
@@ -101,6 +114,22 @@ class ResultCache:
                 CacheIntegrityWarning,
                 stacklevel=3,
             )
+
+    def _prune_quarantine(self) -> None:
+        """Drop all but the newest ``quarantine_keep`` quarantined entries."""
+        try:
+            entries = sorted(
+                (p for p in self.quarantine_root.iterdir() if p.is_file()),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return
+        for stale in entries[self.quarantine_keep :]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
 
     def get(self, token: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``token``, or ``None`` on a miss.
@@ -127,10 +156,18 @@ class ResultCache:
             self.misses += 1
             return None
         digest = entry.get("sha256")
-        if digest is not None and digest != payload_digest(payload):
-            self._quarantine(path, "payload does not match its sha256 digest")
-            self.misses += 1
-            return None
+        if digest is not None:
+            actual = payload_digest(payload)
+            if digest != actual:
+                # Name both digests so multi-worker corruption is attributable
+                # (which write was bad, whether two writers disagreed).
+                self._quarantine(
+                    path,
+                    f"payload does not match its sha256 digest "
+                    f"(entry claims {digest}, payload hashes to {actual})",
+                )
+                self.misses += 1
+                return None
         self.hits += 1
         return payload
 

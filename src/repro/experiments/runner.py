@@ -5,24 +5,31 @@ objects and produces one :class:`ScenarioResult` per scenario, in input order:
 
 1. every scenario is first looked up in the on-disk cache (if one is
    configured) by its SHA-256 cache token;
-2. the misses are sharded across a ``concurrent.futures.ProcessPoolExecutor``
-   (scenarios are plain picklable data; the worker rebuilds the graph from
-   its :class:`~repro.experiments.scenarios.GraphSpec` and runs the named
-   algorithm on the named engine);
-3. every fresh result is written back to the cache *as its future lands*
+2. the misses are handed to a pluggable executor backend (see
+   :mod:`repro.experiments.executors`): ``"serial"`` in-process, ``"process"``
+   sharding across a ``concurrent.futures.ProcessPoolExecutor``, or
+   ``"workdir"`` distributing over independent worker processes that claim
+   tasks from a shared spool directory via leases and heartbeats;
+3. every fresh result is written back to the cache *as it lands*
    (write-through), so an interrupted sweep acts as a checkpoint: re-running
-   it re-executes only the scenarios that had not finished.
+   it re-executes only the scenarios that had not finished -- and under the
+   ``"workdir"`` backend a killed coordinator resumes with its workers still
+   draining the queue.
 
 A worker failure never aborts the sweep.  Exceptions are captured per
 scenario into ``ScenarioResult.status`` / ``error``, with configurable
-retries (exponential backoff), a per-scenario soft timeout for hung workers,
-and transparent recovery from a broken process pool (the pool is rebuilt and
-only unfinished work resubmitted).  Workers apply the engine degradation
-chain (compiled -> vectorized -> batched -> reference, see
+retries (exponential backoff), a per-scenario soft timeout enforced
+identically across backends, transparent recovery from a broken process pool
+(the pool is rebuilt and only unfinished work resubmitted), and -- in the
+distributed backend -- lease reaping that reassigns tasks from dead or
+partitioned workers, dead-worker replacement, and idempotent handling of
+duplicate completions (first digest-valid envelope wins).  Workers apply the
+engine degradation chain (compiled -> vectorized -> batched -> reference, see
 :mod:`repro.resilience`) when an engine fails as infrastructure, and stamp an
 integrity digest on each payload so results corrupted in transit are detected
 and retried.  A seedable :class:`~repro.resilience.FaultPlan` can be injected
-to rehearse all of this deterministically.
+to rehearse all of this deterministically -- including whole-worker chaos
+(``worker_die``, ``worker_stall``, ``lease_steal``, ``envelope_corrupt``).
 
 Only :class:`~repro.exceptions.InvalidParameterError` still propagates: an
 invalid scenario is a caller bug, not a fault, and retrying it cannot help.
@@ -33,10 +40,10 @@ under hypothesis or in debuggers.
 
 Sweep-level progress is reported through an optional ``on_progress`` callback
 (off by default): it fires once per scenario -- immediately for cache hits,
-from the process-pool futures as they complete for fresh executions -- with
-``(done, total, scenario, cached)``.  :func:`progress_ticker` builds a
-ready-made stderr ticker callback.  Aggregate reliability counters for the
-last sweep (retries, timeouts, pool rebuilds, failures, ...) are kept on
+as executions complete for fresh ones -- with ``(done, total, scenario,
+cached)``.  :func:`progress_ticker` builds a ready-made stderr ticker
+callback.  Aggregate reliability counters for the last sweep (retries,
+timeouts, pool rebuilds, reassignments, failures, ...) are kept on
 ``runner.last_stats``.
 """
 
@@ -45,10 +52,7 @@ from __future__ import annotations
 import ast
 import os
 import sys
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -61,19 +65,22 @@ from typing import (
     Tuple,
 )
 
-from repro.exceptions import InvalidParameterError
 from repro.experiments.cache import ResultCache
-from repro.experiments.scenarios import ALGORITHMS, Scenario, payload_digest
-from repro.resilience.faults import FAULT_PLAN_ENV, FaultInjector, FaultPlan
+from repro.experiments.executors import (  # noqa: F401 - re-exported compat
+    _POLL_SECONDS,
+    ExecutionRequest,
+    ExecutorBackend,
+    _execute_scenario,
+    _Outcome,
+    _run_payload,
+    make_executor,
+)
+from repro.experiments.scenarios import Scenario
 from repro.resilience.degrade import run_with_degradation
+from repro.resilience.faults import FaultPlan
 
 #: Signature of the sweep progress callback: ``(done, total, scenario, cached)``.
 ProgressCallback = Callable[[int, int, Scenario, bool], None]
-
-#: How often the pool loop wakes to check soft timeouts (seconds).  Only used
-#: when a timeout is configured; without one the loop blocks until a future
-#: completes, exactly like the pre-resilience runner.
-_POLL_SECONDS = 0.05
 
 
 def progress_ticker(stream: Optional[TextIO] = None) -> ProgressCallback:
@@ -93,29 +100,6 @@ def progress_ticker(stream: Optional[TextIO] = None) -> ProgressCallback:
     return tick
 
 
-def _run_payload(scenario: Scenario, engine: str) -> Dict[str, Any]:
-    """Execute ``scenario`` on ``engine`` and return its JSON-safe payload."""
-    try:
-        runner = ALGORITHMS[scenario.algorithm]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown algorithm {scenario.algorithm!r}; known: {sorted(ALGORITHMS)}"
-        ) from None
-    started = time.perf_counter()
-    network = scenario.graph.build()
-    payload = runner(
-        network,
-        scenario.params_dict,
-        engine,
-        scenario.capture_colors,
-    )
-    payload["wall_time"] = time.perf_counter() - started
-    payload["num_nodes"] = network.num_nodes
-    payload["num_edges"] = network.num_edges
-    payload["max_degree"] = network.max_degree
-    return payload
-
-
 def run_scenario(scenario: Scenario) -> Dict[str, Any]:
     """Execute one scenario and return its JSON-safe result payload.
 
@@ -129,54 +113,24 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
     return outcome.result
 
 
-def _execute_scenario(
-    scenario: Scenario,
-    index: int = 0,
-    attempt: int = 0,
-    injector: Optional[FaultInjector] = None,
-) -> Dict[str, Any]:
-    """The worker entry point (module-level so it pickles): one envelope.
-
-    The envelope wraps the result payload with resilience metadata that must
-    never leak into the cached payload itself (cached payloads stay
-    bit-identical to fault-free runs): the engine that actually produced the
-    result after degradation, the abandoned engines, and an integrity digest
-    computed *before* any injected corruption so the parent can verify the
-    payload it received.
-    """
-    if injector is None:
-        injector = FaultInjector.from_env()
-    restore = None
-    if injector is not None:
-        restore = injector.fire_before_run(index, attempt)
-    try:
-        outcome = run_with_degradation(
-            lambda engine: _run_payload(scenario, engine), scenario.engine
-        )
-    finally:
-        if restore is not None:
-            restore()
-    payload = outcome.result
-    envelope = {
-        "payload": payload,
-        "engine_used": outcome.engine,
-        "degraded_from": list(outcome.degraded_from),
-        "integrity": payload_digest(payload),
-    }
-    if injector is not None:
-        injector.corrupt_payload(index, attempt, payload)
-    return envelope
-
-
 @dataclass
 class SweepStats:
     """Aggregate reliability counters for one ``run`` call.
 
     ``retries`` counts re-executions charged to a specific scenario (worker
-    exceptions, integrity mismatches, soft timeouts, and the collective
-    charge after a pool breakage); ``pool_rebuilds`` counts the process-pool
-    generations created beyond the first; ``degraded`` counts scenarios whose
-    result was produced below their requested engine.
+    exceptions, integrity mismatches, soft timeouts, lease reassignments,
+    and the collective charge after a pool breakage); ``pool_rebuilds``
+    counts the process-pool generations created beyond the first;
+    ``degraded`` counts scenarios whose result was produced below their
+    requested engine.
+
+    The distributed (``"workdir"``) backend additionally reports:
+    ``reassignments`` -- tasks recovered from expired leases of dead or
+    partitioned workers; ``duplicate_completions`` -- result envelopes that
+    arrived after their task had already completed elsewhere (ignored
+    idempotently: first digest-valid envelope wins); ``envelopes_rejected``
+    -- unparseable or digest-mismatched envelopes quarantined off the spool;
+    ``worker_replacements`` -- dead worker processes replaced mid-sweep.
     """
 
     scenarios: int = 0
@@ -187,19 +141,10 @@ class SweepStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     degraded: int = 0
-
-
-@dataclass
-class _Outcome:
-    """Internal per-token outcome record (shared by duplicate scenarios)."""
-
-    payload: Optional[Dict[str, Any]] = None
-    cached: bool = False
-    status: str = "ok"
-    error: Optional[str] = None
-    attempts: int = 1
-    engine_used: Optional[str] = None
-    degraded_from: Tuple[str, ...] = ()
+    reassignments: int = 0
+    duplicate_completions: int = 0
+    envelopes_rejected: int = 0
+    worker_replacements: int = 0
 
 
 @dataclass
@@ -267,7 +212,8 @@ class ScenarioResult:
 
 
 class ExperimentRunner:
-    """Shard scenarios across processes, with caching and fault tolerance.
+    """Run scenario sweeps over a pluggable executor backend, with caching
+    and fault tolerance.
 
     Parameters
     ----------
@@ -275,28 +221,41 @@ class ExperimentRunner:
         Directory of the result cache (see :mod:`repro.experiments.cache`).
         ``None`` disables caching (and with it checkpoint/resume).
     max_workers:
-        Worker process count.  ``None`` uses ``os.cpu_count()`` (capped by
-        the number of scenarios); ``0`` or ``1`` runs serially in-process.
+        Worker count.  ``None`` uses ``os.cpu_count()`` (capped by the
+        number of scenarios); ``0`` or ``1`` runs serially in-process (under
+        ``backend="auto"``).
     on_progress:
         Default sweep-progress callback used by :meth:`run` when none is
         passed explicitly; ``None`` (the default) disables reporting.
     retries:
         How many times a failing scenario is re-executed before it is
         recorded as ``status="failed"`` (so each scenario runs at most
-        ``retries + 1`` times).
+        ``retries + 1`` times, whichever backend executes it).
     retry_backoff:
         Base of the exponential backoff slept before retry ``k``:
         ``retry_backoff * 2**(k-1)`` seconds.  ``0`` (the default) retries
         immediately -- the right choice for deterministic in-process faults;
         give it a small positive value when failures are environmental.
+        (The ``"workdir"`` backend retries immediately regardless: its
+        coordinator loop must keep collecting envelopes from other workers.)
     timeout:
-        Per-scenario soft timeout in seconds, measured from when the worker
-        starts executing (pool execution only; a serial run cannot preempt
-        itself).  On expiry the scenario is charged an attempt and the pool
-        is rebuilt, because a hung worker cannot be reclaimed.
+        Per-scenario soft timeout in seconds, measured from when execution
+        starts, enforced identically by every backend (the serial backend
+        runs each scenario under a watchdog thread).  On expiry the scenario
+        is charged an attempt; a hung pool worker additionally loses its
+        pool, because it cannot be reclaimed.
     fault_plan:
         A :class:`~repro.resilience.FaultPlan` to inject deterministic
-        faults, propagated to pool workers via ``$REPRO_FAULT_PLAN``.
+        faults, propagated to workers via ``$REPRO_FAULT_PLAN``.
+    backend:
+        Executor backend name (see :mod:`repro.experiments.executors`):
+        ``"serial"``, ``"process"``, ``"workdir"``, or ``"auto"`` (the
+        default: ``"process"`` when ``max_workers`` and the pending count
+        both exceed 1, else ``"serial"`` -- exactly the pre-backend
+        behavior).
+    backend_options:
+        Keyword options forwarded to the backend constructor (e.g.
+        ``{"spool_dir": ..., "lease_ttl": 5.0}`` for ``"workdir"``).
     """
 
     def __init__(
@@ -308,6 +267,8 @@ class ExperimentRunner:
         retry_backoff: float = 0.0,
         timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        backend: str = "auto",
+        backend_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
@@ -316,21 +277,28 @@ class ExperimentRunner:
         self.retry_backoff = retry_backoff
         self.timeout = timeout
         self.fault_plan = fault_plan
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
         #: :class:`SweepStats` of the most recent :meth:`run` call.
         self.last_stats = SweepStats()
+
+    def _executor_for(self, workers: int, pending: int) -> ExecutorBackend:
+        name = self.backend
+        if name == "auto":
+            name = "process" if workers > 1 and pending > 1 else "serial"
+        return make_executor(name, **self.backend_options)
 
     def run(
         self,
         scenarios: Sequence[Scenario],
         on_progress: Optional[ProgressCallback] = None,
     ) -> List[ScenarioResult]:
-        """Run every scenario (cache-first, then in parallel), in input order.
+        """Run every scenario (cache-first, then via the backend), in input order.
 
         ``on_progress`` (or the runner's default) is invoked once per
         scenario with ``(done, total, scenario, cached)``: immediately for
-        cache hits and duplicates, and from the pool futures in completion
-        order for fresh executions.  ``done`` counts monotonically up to
-        ``len(scenarios)``.
+        cache hits and duplicates, and in completion order for fresh
+        executions.  ``done`` counts monotonically up to ``len(scenarios)``.
         """
         on_progress = on_progress if on_progress is not None else self.on_progress
         scenarios = list(scenarios)
@@ -385,10 +353,22 @@ class ExperimentRunner:
             workers = self.max_workers
             if workers is None:
                 workers = min(len(pending), os.cpu_count() or 1)
-            if workers and workers > 1 and len(pending) > 1:
-                self._run_pool(scenarios, pending, workers, complete, stats)
-            else:
-                self._run_serial(scenarios, pending, complete, stats)
+            executor = self._executor_for(workers, len(pending))
+            executor.execute(
+                ExecutionRequest(
+                    scenarios=scenarios,
+                    tokens=tokens,
+                    pending=pending,
+                    complete=complete,
+                    stats=stats,
+                    retries=self.retries,
+                    retry_backoff=self.retry_backoff,
+                    timeout=self.timeout,
+                    fault_plan=self.fault_plan,
+                    workers=max(1, workers or 1),
+                    cache=self.cache,
+                )
+            )
 
         # Duplicates of freshly executed scenarios resolve last (their
         # outcome was computed once, under the executing index).
@@ -410,288 +390,3 @@ class ExperimentRunner:
             )
             for scenario, token in zip(scenarios, tokens)
         ]
-
-    # ------------------------------------------------------------------ #
-    # Execution paths
-    # ------------------------------------------------------------------ #
-
-    def _backoff(self, attempt: int) -> None:
-        delay = self.retry_backoff * (2 ** max(0, attempt - 1))
-        if delay > 0:
-            time.sleep(delay)
-
-    @staticmethod
-    def _ok_outcome(envelope: Dict[str, Any], attempts: int) -> _Outcome:
-        return _Outcome(
-            payload=envelope["payload"],
-            status="ok",
-            attempts=attempts,
-            engine_used=envelope.get("engine_used"),
-            degraded_from=tuple(envelope.get("degraded_from") or ()),
-        )
-
-    def _run_serial(
-        self,
-        scenarios: Sequence[Scenario],
-        pending: Sequence[int],
-        complete: Callable[[int, _Outcome], None],
-        stats: SweepStats,
-    ) -> None:
-        """In-process execution with the same capture/retry/write-through policy."""
-        injector = (
-            FaultInjector(self.fault_plan, allow_process_exit=False)
-            if self.fault_plan is not None
-            else None
-        )
-        for index in pending:
-            attempt = 0
-            while True:
-                error = None
-                envelope = None
-                try:
-                    envelope = _execute_scenario(
-                        scenarios[index], index, attempt, injector=injector
-                    )
-                except InvalidParameterError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - capture, not abort
-                    error = f"{type(exc).__name__}: {exc}"
-                if error is None and envelope["integrity"] != payload_digest(
-                    envelope["payload"]
-                ):
-                    error = "payload integrity digest mismatch"
-                if error is None:
-                    complete(index, self._ok_outcome(envelope, attempt + 1))
-                    break
-                attempt += 1
-                if attempt > self.retries:
-                    complete(
-                        index,
-                        _Outcome(status="failed", error=error, attempts=attempt),
-                    )
-                    break
-                stats.retries += 1
-                self._backoff(attempt)
-
-    def _run_pool(
-        self,
-        scenarios: Sequence[Scenario],
-        pending: Sequence[int],
-        workers: int,
-        complete: Callable[[int, _Outcome], None],
-        stats: SweepStats,
-    ) -> None:
-        """Pool execution in *generations*: a lost pool is rebuilt, and only
-        unfinished work is resubmitted to the replacement."""
-        previous_env = None
-        env_set = False
-        if self.fault_plan is not None:
-            previous_env = os.environ.get(FAULT_PLAN_ENV)
-            os.environ[FAULT_PLAN_ENV] = self.fault_plan.to_json()
-            env_set = True
-        attempts = dict.fromkeys(pending, 0)
-        unfinished = list(pending)
-        suspects: set = set()
-        first = True
-        try:
-            while unfinished:
-                if not first:
-                    stats.pool_rebuilds += 1
-                first = False
-                unfinished = self._pool_generation(
-                    scenarios, unfinished, attempts, workers, complete, stats, suspects
-                )
-            # Scenarios that ran out of attempts purely through *collective*
-            # pool-breakage charges were never individually convicted: give
-            # each one isolated, single-worker execution.  If the pool
-            # breaks again the crash is theirs beyond doubt (and is recorded
-            # as such); innocents caught near a serial crasher complete here.
-            for index in sorted(suspects):
-                unfinished = [index]
-                while unfinished:
-                    stats.pool_rebuilds += 1
-                    unfinished = self._pool_generation(
-                        scenarios,
-                        unfinished,
-                        attempts,
-                        1,
-                        complete,
-                        stats,
-                        suspects,
-                        isolated=True,
-                    )
-        finally:
-            if env_set:
-                if previous_env is None:
-                    os.environ.pop(FAULT_PLAN_ENV, None)
-                else:
-                    os.environ[FAULT_PLAN_ENV] = previous_env
-
-    def _pool_generation(
-        self,
-        scenarios: Sequence[Scenario],
-        unfinished: Sequence[int],
-        attempts: Dict[int, int],
-        workers: int,
-        complete: Callable[[int, _Outcome], None],
-        stats: SweepStats,
-        suspects: set,
-        isolated: bool = False,
-    ) -> List[int]:
-        """Drain one process pool; return the indexes a fresh pool must redo.
-
-        The generation ends early ("the pool is lost") on a broken pool or a
-        soft-timeout expiry, because in both cases at least one worker can no
-        longer be trusted or reclaimed.  A pool breakage cannot be attributed
-        to a single scenario, so it charges one attempt to *every* index that
-        was unfinished at that moment -- this guarantees termination (a
-        scenario that always kills its worker runs out of attempts after at
-        most ``retries + 1`` breakages).  Indexes exhausted *only* by those
-        collective charges are not failed here but parked in ``suspects``
-        for an isolated retrial (see :meth:`_run_pool`); in an ``isolated``
-        (single-scenario) generation a breakage is individual guilt and
-        fails the scenario directly.
-        """
-        pool = ProcessPoolExecutor(max_workers=workers)
-        futures: Dict[Any, int] = {}
-        started: Dict[Any, float] = {}
-        remaining = set(unfinished)
-        lost = False
-        charge_all = False
-        try:
-            for index in unfinished:
-                futures[
-                    pool.submit(
-                        _execute_scenario, scenarios[index], index, attempts[index]
-                    )
-                ] = index
-            while futures and not lost:
-                tick = _POLL_SECONDS if self.timeout is not None else None
-                finished, _ = wait(
-                    set(futures), timeout=tick, return_when=FIRST_COMPLETED
-                )
-                now = time.monotonic()
-                for future in finished:
-                    index = futures.pop(future)
-                    started.pop(future, None)
-                    envelope = None
-                    error = None
-                    try:
-                        envelope = future.result()
-                    except InvalidParameterError:
-                        raise
-                    except BrokenProcessPool:
-                        lost = True
-                        charge_all = True
-                        break
-                    except Exception as exc:  # noqa: BLE001 - capture, not abort
-                        error = f"{type(exc).__name__}: {exc}"
-                    if error is None and envelope["integrity"] != payload_digest(
-                        envelope["payload"]
-                    ):
-                        error = "payload integrity digest mismatch (corrupted in transit)"
-                    if error is None:
-                        remaining.discard(index)
-                        complete(index, self._ok_outcome(envelope, attempts[index] + 1))
-                        continue
-                    attempts[index] += 1
-                    if attempts[index] > self.retries:
-                        remaining.discard(index)
-                        complete(
-                            index,
-                            _Outcome(
-                                status="failed", error=error, attempts=attempts[index]
-                            ),
-                        )
-                    else:
-                        stats.retries += 1
-                        self._backoff(attempts[index])
-                        futures[
-                            pool.submit(
-                                _execute_scenario,
-                                scenarios[index],
-                                index,
-                                attempts[index],
-                            )
-                        ] = index
-                if lost or self.timeout is None:
-                    continue
-                for future in list(futures):
-                    if future not in started and future.running():
-                        started[future] = now
-                expired = [
-                    future
-                    for future, began in started.items()
-                    if future in futures and now - began >= self.timeout
-                ]
-                if expired:
-                    # A hung worker cannot be cancelled or reclaimed: charge
-                    # the timed-out scenarios an attempt and lose the pool.
-                    lost = True
-                    stats.timeouts += len(expired)
-                    for future in expired:
-                        index = futures.pop(future)
-                        attempts[index] += 1
-                        if attempts[index] > self.retries:
-                            remaining.discard(index)
-                            complete(
-                                index,
-                                _Outcome(
-                                    status="failed",
-                                    error=(
-                                        f"soft timeout: no result within "
-                                        f"{self.timeout:g}s (worker hung)"
-                                    ),
-                                    attempts=attempts[index],
-                                ),
-                            )
-                        else:
-                            stats.retries += 1
-        finally:
-            self._teardown_pool(pool, graceful=not lost)
-        if charge_all:
-            # The pool broke; every unfinished scenario pays one attempt
-            # (see the docstring for why attribution is collective).
-            for index in sorted(remaining):
-                attempts[index] += 1
-                if isolated:
-                    # The scenario was alone in this pool: the crash is its.
-                    remaining.discard(index)
-                    complete(
-                        index,
-                        _Outcome(
-                            status="failed",
-                            error=(
-                                "worker process crashed while executing this "
-                                "scenario (confirmed in isolation); retries "
-                                "exhausted"
-                            ),
-                            attempts=attempts[index],
-                        ),
-                    )
-                elif attempts[index] > self.retries:
-                    remaining.discard(index)
-                    suspects.add(index)
-                else:
-                    stats.retries += 1
-        return sorted(remaining)
-
-    @staticmethod
-    def _teardown_pool(pool: ProcessPoolExecutor, graceful: bool) -> None:
-        """Shut a pool down; a lost pool's workers are terminated outright.
-
-        ``_processes`` is private executor state, but it is the only handle
-        on a *hung* worker -- ``shutdown`` alone would block on (or leak) it.
-        The access is defensive: if the attribute moves, teardown degrades to
-        the plain non-waiting shutdown.
-        """
-        if graceful:
-            pool.shutdown(wait=True)
-            return
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except Exception:  # noqa: BLE001 - already-dead workers are fine
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)

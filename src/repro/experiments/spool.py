@@ -1,0 +1,526 @@
+"""Shared-directory spool for the ``"workdir"`` distributed executor backend.
+
+The spool is the coordination substrate between an
+:class:`~repro.experiments.ExperimentRunner` coordinator and any number of
+independent worker processes (``python -m repro.experiments.worker <dir>``)
+that share nothing but a directory (local disk, NFS, a container volume).
+Every primitive is a plain file operation whose atomicity comes from
+``os.rename`` / ``os.replace``, so the protocol needs no locks, sockets, or
+daemons:
+
+.. code-block:: text
+
+    <spool>/
+        config.json        # coordinator-written: cache dir, lease TTL, ...
+        tasks/<id>.json    # claimable task records (scenario as JSON)
+        leases/<id>.json   # claimed tasks (the task file, atomically renamed)
+        meta/<id>.json     # lease metadata: worker, claim time, deadline
+        heartbeats/<w>     # one file per worker, touched while it lives
+        results/<id>--a<attempt>--<worker>.json   # result envelopes
+        quarantine/        # rejected envelopes, moved aside for forensics
+        stop               # sentinel: workers drain and exit when present
+
+*Claiming* a task is ``os.rename(tasks/X, leases/X)`` -- exactly one worker
+can win because rename-with-source-missing fails for everyone else.  A
+*lease* carries a TTL deadline, but expiry alone never revokes it: the
+coordinator's reaper reassigns a task only when the lease is past its
+deadline **and** the claiming worker's heartbeat has gone stale, so a slow
+but live worker keeps its claim while a dead or partitioned one loses it.
+*Completion* is an atomically renamed result envelope; envelopes are
+digest-stamped (:func:`~repro.experiments.scenarios.payload_digest`) and
+idempotent -- the first digest-valid envelope per task wins, later
+duplicates (a stalled worker finishing after its task was reassigned) are
+counted and discarded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Spool layout version, recorded in ``config.json``; bump on layout changes.
+SPOOL_VERSION = 1
+
+_TASKS = "tasks"
+_LEASES = "leases"
+_META = "meta"
+_HEARTBEATS = "heartbeats"
+_RESULTS = "results"
+_QUARANTINE = "quarantine"
+_CONFIG = "config.json"
+_STOP = "stop"
+
+
+def _atomic_write_json(path: Path, document: Any) -> None:
+    """Write ``document`` to ``path`` via a same-directory tmp file + rename."""
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=f".{path.stem[:12]}-", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Any]:
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+@dataclass(frozen=True)
+class SpoolConfig:
+    """Coordinator-written sweep configuration, read by every worker.
+
+    ``cache_dir`` names the shared :class:`~repro.experiments.cache.ResultCache`
+    root that workers write finished payloads through to (``None`` disables
+    the shared store); ``timeout`` is the per-scenario soft timeout workers
+    enforce with the same watchdog used by the serial backend.
+    """
+
+    cache_dir: Optional[str] = None
+    lease_ttl: float = 5.0
+    heartbeat_interval: float = 1.0
+    timeout: Optional[float] = None
+    version: int = SPOOL_VERSION
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "cache_dir": self.cache_dir,
+            "lease_ttl": self.lease_ttl,
+            "heartbeat_interval": self.heartbeat_interval,
+            "timeout": self.timeout,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "SpoolConfig":
+        return cls(
+            cache_dir=document.get("cache_dir"),
+            lease_ttl=float(document.get("lease_ttl", 5.0)),
+            heartbeat_interval=float(document.get("heartbeat_interval", 1.0)),
+            timeout=(
+                None
+                if document.get("timeout") is None
+                else float(document["timeout"])
+            ),
+            version=int(document.get("version", SPOOL_VERSION)),
+        )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed task: who holds it, since when, and its TTL deadline."""
+
+    task_id: str
+    worker: str
+    claimed_at: float
+    deadline: float
+
+    def __getattr__(self, name: str) -> Any:
+        # Same dunder guard as ScenarioResult: protocol probes (pickle's
+        # __getstate__, copy's __deepcopy__, ...) must fail fast with
+        # AttributeError rather than being searched anywhere else.
+        raise AttributeError(name)
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "worker": self.worker,
+            "claimed_at": self.claimed_at,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "Lease":
+        return cls(
+            task_id=str(document["task_id"]),
+            worker=str(document["worker"]),
+            claimed_at=float(document["claimed_at"]),
+            deadline=float(document["deadline"]),
+        )
+
+
+@dataclass
+class ResultEnvelope:
+    """One worker execution's outcome, as written into ``results/``.
+
+    Mirrors the pool workers' in-memory envelope: the JSON-safe ``payload``
+    plus resilience metadata that must never leak into the cached payload
+    itself (the engine that actually ran after degradation, the abandoned
+    engines, and the ``integrity`` digest stamped *before* any injected
+    transport corruption).  ``status == "error"`` envelopes carry the
+    exception type and message instead of a payload.
+
+    Payload keys are readable as attributes (``envelope.rounds``), with the
+    same dunder guard as :class:`~repro.experiments.runner.ScenarioResult`
+    so envelopes survive pickle / deepcopy round trips.
+    """
+
+    task_id: str
+    index: int
+    attempt: int
+    worker: str
+    status: str = "ok"
+    payload: Optional[Dict[str, Any]] = None
+    engine_used: Optional[str] = None
+    degraded_from: Tuple[str, ...] = ()
+    integrity: Optional[str] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    def __getattr__(self, name: str) -> Any:
+        # Dunder probes (pickle's __getstate__, copy's __deepcopy__, ...)
+        # must raise AttributeError instead of being answered from the
+        # payload dict -- the same guard as ScenarioResult, so envelopes
+        # survive deepcopy/pickle round trips.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        payload = self.__dict__.get("payload")
+        if payload is None:
+            raise AttributeError(name)
+        try:
+            return payload[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def verified(self) -> bool:
+        """Whether the payload matches the integrity digest stamped on it."""
+        from repro.experiments.scenarios import payload_digest
+
+        return (
+            self.status == "ok"
+            and self.payload is not None
+            and self.integrity == payload_digest(self.payload)
+        )
+
+    def filename(self) -> str:
+        return f"{self.task_id}--a{self.attempt}--{self.worker}.json"
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "index": self.index,
+            "attempt": self.attempt,
+            "worker": self.worker,
+            "status": self.status,
+            "payload": self.payload,
+            "engine_used": self.engine_used,
+            "degraded_from": list(self.degraded_from),
+            "integrity": self.integrity,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "ResultEnvelope":
+        return cls(
+            task_id=str(document["task_id"]),
+            index=int(document["index"]),
+            attempt=int(document["attempt"]),
+            worker=str(document["worker"]),
+            status=str(document.get("status", "ok")),
+            payload=document.get("payload"),
+            engine_used=document.get("engine_used"),
+            degraded_from=tuple(document.get("degraded_from") or ()),
+            integrity=document.get("integrity"),
+            error=document.get("error"),
+            error_type=document.get("error_type"),
+        )
+
+
+@dataclass
+class Spool:
+    """File-protocol operations over one spool directory (see module doc)."""
+
+    root: Path
+    _dirs_ready: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -------------------------------------------------------------- layout
+
+    @property
+    def tasks_dir(self) -> Path:
+        return self.root / _TASKS
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / _LEASES
+
+    @property
+    def meta_dir(self) -> Path:
+        return self.root / _META
+
+    @property
+    def heartbeats_dir(self) -> Path:
+        return self.root / _HEARTBEATS
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / _RESULTS
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE
+
+    def create(self) -> "Spool":
+        """Ensure the directory layout exists (idempotent)."""
+        for directory in (
+            self.root,
+            self.tasks_dir,
+            self.leases_dir,
+            self.meta_dir,
+            self.heartbeats_dir,
+            self.results_dir,
+            self.quarantine_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self._dirs_ready = True
+        return self
+
+    # ------------------------------------------------------------- config
+
+    def write_config(self, config: SpoolConfig) -> None:
+        _atomic_write_json(self.root / _CONFIG, config.to_document())
+
+    def read_config(self, wait: float = 0.0, poll: float = 0.05) -> Optional[SpoolConfig]:
+        """The coordinator's config, waiting up to ``wait`` seconds for it.
+
+        Workers may be launched before the coordinator finished writing the
+        spool; they poll briefly instead of dying on the race.
+        """
+        deadline = time.monotonic() + wait
+        while True:
+            document = _read_json(self.root / _CONFIG)
+            if isinstance(document, dict):
+                return SpoolConfig.from_document(document)
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll)
+
+    def request_stop(self) -> None:
+        try:
+            (self.root / _STOP).touch()
+        except OSError:
+            pass
+
+    def clear_stop(self) -> None:
+        try:
+            (self.root / _STOP).unlink()
+        except OSError:
+            pass
+
+    def stop_requested(self) -> bool:
+        return (self.root / _STOP).exists()
+
+    # -------------------------------------------------------------- tasks
+
+    def task_document(
+        self,
+        task_id: str,
+        index: int,
+        attempt: int,
+        token: str,
+        scenario_document: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        return {
+            "task_id": task_id,
+            "index": index,
+            "attempt": attempt,
+            "token": token,
+            "scenario": scenario_document,
+        }
+
+    def add_task(self, document: Dict[str, Any]) -> None:
+        """Enqueue (or re-enqueue, with a bumped attempt) one task record."""
+        _atomic_write_json(self.tasks_dir / f"{document['task_id']}.json", document)
+
+    def has_task_or_lease(self, task_id: str) -> bool:
+        return (self.tasks_dir / f"{task_id}.json").exists() or (
+            self.leases_dir / f"{task_id}.json"
+        ).exists()
+
+    def pending_task_ids(self) -> List[str]:
+        try:
+            names = sorted(p.stem for p in self.tasks_dir.glob("*.json"))
+        except OSError:
+            return []
+        return names
+
+    # ------------------------------------------------------------- claims
+
+    def claim(self, task_id: str, worker: str, ttl: float) -> Optional[Dict[str, Any]]:
+        """Atomically claim ``task_id`` for ``worker``; ``None`` if lost.
+
+        The claim is the rename ``tasks/<id>.json -> leases/<id>.json``:
+        exactly one contender's rename finds the source present.  The lease
+        metadata (claim time, TTL deadline) is written next to it for the
+        coordinator's reaper.
+        """
+        source = self.tasks_dir / f"{task_id}.json"
+        target = self.leases_dir / f"{task_id}.json"
+        try:
+            os.rename(source, target)
+        except OSError:
+            return None
+        now = time.time()
+        lease = Lease(task_id=task_id, worker=worker, claimed_at=now, deadline=now + ttl)
+        try:
+            _atomic_write_json(self.meta_dir / f"{task_id}.json", lease.to_document())
+        except OSError:
+            pass
+        document = _read_json(target)
+        if not isinstance(document, dict):
+            # The claimed file is unreadable (should not happen: writes are
+            # atomic).  Release the claim so the reaper can recover it.
+            self.release(task_id)
+            return None
+        return document
+
+    def claim_next(self, worker: str, ttl: float) -> Optional[Dict[str, Any]]:
+        """Claim the first available task in task-id order, or ``None``."""
+        for task_id in self.pending_task_ids():
+            document = self.claim(task_id, worker, ttl)
+            if document is not None:
+                return document
+        return None
+
+    def release(self, task_id: str) -> None:
+        """Drop the lease + metadata for ``task_id`` (completion or steal)."""
+        for path in (
+            self.leases_dir / f"{task_id}.json",
+            self.meta_dir / f"{task_id}.json",
+        ):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def live_leases(self) -> List[Lease]:
+        leases = []
+        for path in sorted(self.meta_dir.glob("*.json")):
+            document = _read_json(path)
+            if isinstance(document, dict):
+                try:
+                    leases.append(Lease.from_document(document))
+                except (KeyError, TypeError, ValueError):
+                    continue
+        return leases
+
+    # --------------------------------------------------------- heartbeats
+
+    def heartbeat(self, worker: str) -> None:
+        """Record that ``worker`` is alive *now* (file mtime is the clock)."""
+        path = self.heartbeats_dir / worker
+        try:
+            path.touch()
+            os.utime(path)
+        except OSError:
+            pass
+
+    def heartbeat_age(self, worker: str, now: Optional[float] = None) -> Optional[float]:
+        """Seconds since ``worker`` last heartbeat, or ``None`` if never."""
+        if now is None:
+            now = time.time()
+        try:
+            return max(0.0, now - (self.heartbeats_dir / worker).stat().st_mtime)
+        except OSError:
+            return None
+
+    def reap_expired(
+        self, ttl: float, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Revoke leases whose deadline passed *and* whose worker went quiet.
+
+        Returns the recovered task documents (for the coordinator to charge
+        an attempt and re-enqueue); the lease and its metadata are removed.
+        A lease whose worker still heartbeats within ``ttl`` is left alone
+        no matter how old it is -- slowness is not death.
+        """
+        if now is None:
+            now = time.time()
+        recovered: List[Dict[str, Any]] = []
+        for meta_path in sorted(self.meta_dir.glob("*.json")):
+            document = _read_json(meta_path)
+            if not isinstance(document, dict):
+                continue
+            try:
+                lease = Lease.from_document(document)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if now <= lease.deadline:
+                continue
+            age = self.heartbeat_age(lease.worker, now)
+            if age is not None and age < ttl:
+                continue
+            lease_path = self.leases_dir / f"{lease.task_id}.json"
+            task = _read_json(lease_path)
+            self.release(lease.task_id)
+            if isinstance(task, dict):
+                recovered.append(task)
+            # A missing/unreadable lease file means the worker completed and
+            # released between our reads; the envelope speaks for the task.
+        return recovered
+
+    # ------------------------------------------------------------ results
+
+    def write_envelope(self, envelope: ResultEnvelope) -> Path:
+        path = self.results_dir / envelope.filename()
+        _atomic_write_json(path, envelope.to_document())
+        return path
+
+    def new_envelopes(
+        self, seen: Set[str]
+    ) -> List[Tuple[Path, Optional[ResultEnvelope]]]:
+        """Unprocessed result envelopes, oldest name first.
+
+        Adds every returned filename to ``seen``.  An unparseable or
+        malformed envelope is returned as ``(path, None)`` so the caller can
+        quarantine it and charge the task an attempt (the task id is
+        recoverable from the filename).
+        """
+        fresh: List[Tuple[Path, Optional[ResultEnvelope]]] = []
+        try:
+            paths = sorted(self.results_dir.glob("*.json"))
+        except OSError:
+            return fresh
+        for path in paths:
+            if path.name in seen:
+                continue
+            seen.add(path.name)
+            document = _read_json(path)
+            envelope: Optional[ResultEnvelope] = None
+            if isinstance(document, dict):
+                try:
+                    envelope = ResultEnvelope.from_document(document)
+                except (KeyError, TypeError, ValueError):
+                    envelope = None
+            fresh.append((path, envelope))
+        return fresh
+
+    def quarantine(self, path: Path) -> None:
+        """Move a rejected envelope aside for forensics (best-effort)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            pass

@@ -1,0 +1,263 @@
+"""Standalone sweep worker: ``python -m repro.experiments.worker <spool_dir>``.
+
+A :class:`SpoolWorker` attaches to a spool directory (see
+:mod:`repro.experiments.spool`), claims tasks via atomic-rename leases,
+executes each scenario with the same envelope/degradation/soft-timeout
+machinery as the pool backend, writes a digest-stamped
+:class:`~repro.experiments.spool.ResultEnvelope` into ``results/``, and
+writes finished payloads through to the shared
+:class:`~repro.experiments.cache.ResultCache` named in the spool config.
+A heartbeat thread touches ``heartbeats/<worker_id>`` every
+``heartbeat_interval`` seconds so the coordinator can tell a slow worker
+from a dead one.
+
+Workers are crash-oblivious by design: any number can die at any point and
+the coordinator's lease reaper reassigns their in-flight tasks.  Worker-level
+fault kinds from ``$REPRO_FAULT_PLAN`` (``worker_die``, ``worker_stall``,
+``lease_steal``, ``envelope_corrupt``) are honored here, making whole-worker
+chaos deterministically reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.executors import (
+    SoftTimeoutExpired,
+    _execute_scenario,
+    call_with_soft_timeout,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.spool import ResultEnvelope, Spool, SpoolConfig
+from repro.resilience.faults import FaultInjector
+
+#: Exit code of a deliberately killed worker (``worker_die`` fault).
+WORKER_DIE_EXIT_CODE = 23
+
+
+def _default_worker_id() -> str:
+    return f"w{os.getpid()}"
+
+
+class SpoolWorker:
+    """One worker process draining a spool directory (see module docstring).
+
+    Parameters
+    ----------
+    spool_dir:
+        The shared spool directory written by the coordinator.
+    worker_id:
+        Stable identity used for leases, heartbeats, and envelope filenames;
+        defaults to ``w<pid>``.  Sanitized to filename-safe characters.
+    poll:
+        Sleep between claim attempts when the queue is empty (seconds).
+    max_idle:
+        Exit after this many seconds without claiming any task (``None``
+        keeps waiting until the coordinator's stop sentinel appears) --
+        the safety valve for externally launched workers whose coordinator
+        vanished without writing ``stop``.
+    """
+
+    def __init__(
+        self,
+        spool_dir: os.PathLike,
+        worker_id: Optional[str] = None,
+        poll: float = 0.05,
+        max_idle: Optional[float] = None,
+    ) -> None:
+        self.spool = Spool(Path(spool_dir))
+        raw_id = worker_id or _default_worker_id()
+        self.worker_id = re.sub(r"[^A-Za-z0-9._-]+", "-", raw_id)
+        self.poll = float(poll)
+        self.max_idle = max_idle
+        self._stop_heartbeat = threading.Event()
+        self._suppress_heartbeat = threading.Event()
+        self.tasks_completed = 0
+
+    # ------------------------------------------------------------ heartbeat
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop_heartbeat.is_set():
+            if not self._suppress_heartbeat.is_set():
+                self.spool.heartbeat(self.worker_id)
+            self._stop_heartbeat.wait(interval)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> int:
+        """Drain the spool until the stop sentinel (or idle timeout); 0 on clean exit."""
+        config = self.spool.read_config(wait=10.0)
+        if config is None:
+            print(
+                f"worker {self.worker_id}: no spool config at {self.spool.root}",
+                file=sys.stderr,
+            )
+            return 2
+        cache = ResultCache(config.cache_dir) if config.cache_dir else None
+        injector = FaultInjector.from_env()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(max(0.01, config.heartbeat_interval),),
+            daemon=True,
+        )
+        heartbeat.start()
+        idle_since = time.monotonic()
+        try:
+            while True:
+                if self.spool.stop_requested():
+                    return 0
+                task = self.spool.claim_next(self.worker_id, config.lease_ttl)
+                if task is None:
+                    if (
+                        self.max_idle is not None
+                        and time.monotonic() - idle_since > self.max_idle
+                    ):
+                        return 0
+                    time.sleep(self.poll)
+                    continue
+                idle_since = time.monotonic()
+                self._run_task(task, config, cache, injector)
+                self.tasks_completed += 1
+        finally:
+            self._stop_heartbeat.set()
+            heartbeat.join(timeout=1.0)
+
+    def _run_task(
+        self,
+        task: Dict[str, Any],
+        config: SpoolConfig,
+        cache: Optional[ResultCache],
+        injector: Optional[FaultInjector],
+    ) -> None:
+        task_id = str(task["task_id"])
+        index = int(task["index"])
+        attempt = int(task["attempt"])
+        spec = injector.worker_fault(index, attempt) if injector is not None else None
+        if spec is not None:
+            if spec.kind == "worker_die":
+                # Die *while holding the lease*: the coordinator must detect
+                # the death (expired lease + stale heartbeat) and reassign.
+                os._exit(WORKER_DIE_EXIT_CODE)
+            if spec.kind == "lease_steal":
+                # Simulate a partitioned worker whose lease was revoked while
+                # it kept computing: drop the lease and put the task back up
+                # for grabs, then execute anyway -- a second worker claims and
+                # completes the same task, exercising duplicate-completion
+                # idempotency (first digest-valid envelope wins).
+                self.spool.release(task_id)
+                self.spool.add_task(task)
+            if spec.kind == "worker_stall":
+                # Go quiet: no heartbeat for the stall duration, so the
+                # coordinator reaps the lease as if this worker partitioned,
+                # then resume and finish (a late duplicate completion).
+                self._suppress_heartbeat.set()
+                time.sleep(spec.hang_seconds)
+                self._suppress_heartbeat.clear()
+
+        scenario = Scenario.from_json_dict(task["scenario"])
+        envelope = self._execute(scenario, task_id, index, attempt, config, injector)
+        if envelope.verified() and cache is not None:
+            # Write-through from the worker side -- but only the verified
+            # payload, *before* any injected transport corruption below, so
+            # a corrupted envelope can never poison the shared cache.
+            cache.put(str(task["token"]), scenario.key(), envelope.payload)
+        if (
+            spec is not None
+            and spec.kind == "envelope_corrupt"
+            and injector is not None
+            and envelope.payload is not None
+        ):
+            injector.corrupt_envelope(index, attempt, envelope.payload)
+        self.spool.write_envelope(envelope)
+        self.spool.release(task_id)
+
+    def _execute(
+        self,
+        scenario: Scenario,
+        task_id: str,
+        index: int,
+        attempt: int,
+        config: SpoolConfig,
+        injector: Optional[FaultInjector],
+    ) -> ResultEnvelope:
+        try:
+            raw = call_with_soft_timeout(
+                lambda: _execute_scenario(scenario, index, attempt, injector=injector),
+                config.timeout,
+            )
+        except SoftTimeoutExpired as exc:
+            return ResultEnvelope(
+                task_id=task_id,
+                index=index,
+                attempt=attempt,
+                worker=self.worker_id,
+                status="error",
+                error=str(exc),
+                error_type="SoftTimeoutExpired",
+            )
+        except Exception as exc:  # noqa: BLE001 - captured into the envelope
+            return ResultEnvelope(
+                task_id=task_id,
+                index=index,
+                attempt=attempt,
+                worker=self.worker_id,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+            )
+        return ResultEnvelope(
+            task_id=task_id,
+            index=index,
+            attempt=attempt,
+            worker=self.worker_id,
+            status="ok",
+            payload=raw["payload"],
+            engine_used=raw.get("engine_used"),
+            degraded_from=tuple(raw.get("degraded_from") or ()),
+            integrity=raw["integrity"],
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.worker",
+        description="Attach to a sweep spool directory and drain scenario tasks.",
+    )
+    parser.add_argument("spool_dir", help="the coordinator's spool directory")
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: w<pid>)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.05,
+        help="seconds to sleep between claim attempts when idle (default 0.05)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: wait for the stop sentinel)",
+    )
+    options = parser.parse_args(argv)
+    worker = SpoolWorker(
+        options.spool_dir,
+        worker_id=options.worker_id,
+        poll=options.poll,
+        max_idle=options.max_idle,
+    )
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

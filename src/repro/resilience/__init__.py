@@ -28,6 +28,7 @@ from repro.resilience.degrade import (
 from repro.resilience.faults import (
     FAULT_KINDS,
     FAULT_PLAN_ENV,
+    WORKER_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -43,6 +44,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFaultError",
+    "WORKER_FAULT_KINDS",
     "degrade_path",
     "run_with_degradation",
 ]

@@ -31,6 +31,27 @@ Fault kinds
     :class:`~repro.exceptions.EngineFailure`, simulating a backend that
     disappears mid-run; the engine degradation chain then re-runs the
     scenario on the next engine down.
+
+Worker-level kinds (:data:`WORKER_FAULT_KINDS`) target the ``"workdir"``
+distributed backend's whole-worker failure modes; they are fired by
+:meth:`FaultInjector.worker_fault` in :mod:`repro.experiments.worker` and
+are inert everywhere else (``fire_before_run`` ignores them):
+
+``"worker_die"``
+    Kill the worker process with ``os._exit`` *while it holds a lease*, so
+    the coordinator must detect the death (expired lease + stale heartbeat)
+    and reassign the task.
+``"worker_stall"``
+    Suppress the worker's heartbeat for ``hang_seconds`` before completing
+    normally -- the coordinator reaps the lease as a partition, then a late
+    duplicate completion arrives and must be ignored idempotently.
+``"lease_steal"``
+    Drop the lease before executing (a revoked-but-still-computing worker);
+    a second worker can then claim and complete the same task.
+``"envelope_corrupt"``
+    Complete normally but corrupt the result envelope's payload *after* its
+    integrity digest was stamped (and after the verified payload was cached),
+    so the coordinator quarantines the envelope and reassigns.
 """
 
 from __future__ import annotations
@@ -48,7 +69,21 @@ from repro.exceptions import EngineFailure, ReproError
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: The recognized fault kinds, in the order :meth:`FaultPlan.seeded` rolls them.
-FAULT_KINDS = ("crash", "hang", "error", "corrupt", "lose_backend")
+FAULT_KINDS = (
+    "crash",
+    "hang",
+    "error",
+    "corrupt",
+    "lose_backend",
+    "worker_die",
+    "worker_stall",
+    "lease_steal",
+    "envelope_corrupt",
+)
+
+#: The kinds that model whole-worker failures in the distributed backend;
+#: :meth:`FaultInjector.fire_before_run` treats them as inert.
+WORKER_FAULT_KINDS = ("worker_die", "worker_stall", "lease_steal", "envelope_corrupt")
 
 
 class InjectedFaultError(ReproError, RuntimeError):
@@ -135,6 +170,10 @@ class FaultPlan:
         error_rate: float = 0.0,
         corrupt_rate: float = 0.0,
         lose_backend_rate: float = 0.0,
+        worker_die_rate: float = 0.0,
+        worker_stall_rate: float = 0.0,
+        lease_steal_rate: float = 0.0,
+        envelope_corrupt_rate: float = 0.0,
         attempts: int = 1,
         hang_seconds: float = 30.0,
     ) -> "FaultPlan":
@@ -144,7 +183,17 @@ class FaultPlan:
         :data:`FAULT_KINDS` order), so the same ``seed`` always yields the
         same plan regardless of which rates are zero.
         """
-        rates = (crash_rate, hang_rate, error_rate, corrupt_rate, lose_backend_rate)
+        rates = (
+            crash_rate,
+            hang_rate,
+            error_rate,
+            corrupt_rate,
+            lose_backend_rate,
+            worker_die_rate,
+            worker_stall_rate,
+            lease_steal_rate,
+            envelope_corrupt_rate,
+        )
         if sum(rates) > 1.0:
             raise ValueError("fault rates must sum to at most 1.0")
         rng = random.Random(seed)
@@ -235,7 +284,38 @@ class FaultInjector:
             return kernels.force_backend(
                 _LostKernelBackend(), reason="injected backend loss"
             )
-        return None  # "corrupt" fires after the run, in corrupt_payload
+        # "corrupt" fires after the run (corrupt_payload); worker-level kinds
+        # are handled by the workdir worker around the claim (worker_fault)
+        # and are deliberately inert here.
+        return None
+
+    def worker_fault(self, index: int, attempt: int) -> Optional[FaultSpec]:
+        """The worker-level fault planned for ``(index, attempt)``, if any.
+
+        Consulted by :class:`~repro.experiments.worker.SpoolWorker` after it
+        claims a task; kinds outside :data:`WORKER_FAULT_KINDS` stay with
+        :meth:`fire_before_run` / :meth:`corrupt_payload`.
+        """
+        spec = self.plan.spec_for(index, attempt)
+        if spec is None or spec.kind not in WORKER_FAULT_KINDS:
+            return None
+        return spec
+
+    def corrupt_envelope(self, index: int, attempt: int, payload: Dict) -> bool:
+        """Mutate ``payload`` for an ``"envelope_corrupt"`` fault; True if fired.
+
+        The workdir analogue of :meth:`corrupt_payload`: called after the
+        worker stamped the envelope's integrity digest (and after the good
+        payload was written through to the cache), so the coordinator
+        detects the corruption, quarantines the envelope, and reassigns.
+        """
+        spec = self.plan.spec_for(index, attempt)
+        if spec is None or spec.kind != "envelope_corrupt":
+            return False
+        payload["_injected_envelope_corruption"] = f"scenario {index}, attempt {attempt}"
+        if "coloring_digest" in payload:
+            payload["coloring_digest"] = "f" * 64
+        return True
 
     def corrupt_payload(self, index: int, attempt: int, payload: Dict) -> bool:
         """Mutate ``payload`` in place for a ``"corrupt"`` fault; True if fired.

@@ -408,6 +408,49 @@ class TestCacheIntegrity:
         entry = json.loads(cache._path("cd" * 32).read_text())
         assert entry["sha256"] == payload_digest(payload)
 
+    def test_digest_mismatch_warning_names_both_digests(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        token = "ee" * 32
+        cache.put(token, {"k": 1}, {"rounds": 3})
+        path = cache._path(token)
+        entry = json.loads(path.read_text())
+        entry["payload"]["rounds"] = 99  # tamper without updating sha256
+        path.write_text(json.dumps(entry))
+        stored = entry["sha256"]
+        actual = payload_digest(entry["payload"])
+        with pytest.warns(CacheIntegrityWarning) as caught:
+            assert cache.get(token) is None
+        message = str(caught[0].message)
+        # Both digests appear, so multi-worker corruption is attributable.
+        assert stored in message and actual in message
+
+    def test_quarantine_is_capped_to_newest_entries(self, tmp_path):
+        import warnings as _warnings
+
+        cache = ResultCache(tmp_path, quarantine_keep=3)
+        tokens = [f"{i:02x}" * 32 for i in range(8)]
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", CacheIntegrityWarning)
+            for i, token in enumerate(tokens):
+                cache.put(token, {"k": 1}, {"rounds": 3})
+                path = cache._path(token)
+                path.write_text("{not json")
+                os.utime(path, (i, i))  # distinct mtimes, oldest first
+                assert cache.get(token) is None
+        kept = sorted(p.name for p in cache.quarantine_root.iterdir())
+        assert len(kept) == 3
+        # The newest three survived the pruning.
+        assert kept == sorted(f"{token}.json" for token in tokens[-3:])
+        assert cache.quarantined == 8
+
+    def test_quarantine_keep_is_configurable_and_defaults(self, tmp_path):
+        from repro.experiments import DEFAULT_QUARANTINE_KEEP
+
+        assert ResultCache(tmp_path).quarantine_keep == DEFAULT_QUARANTINE_KEEP
+        assert ResultCache(tmp_path, quarantine_keep=0).quarantine_keep == 0
+
 
 class TestEngineDegradation:
     def test_degrade_path_is_a_chain_suffix(self):
